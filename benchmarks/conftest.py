@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures.
+
+The full RM3D reference trace (the paper's 128x32x32, 3-level, 800+ coarse
+step run) takes ~30 s to generate; :mod:`repro.experiments.common` builds
+it once and caches it on disk under ``.cache/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amr.trace import AdaptationTrace
+from repro.experiments.common import rm3d_reference_trace
+
+
+@pytest.fixture(scope="session")
+def rm3d_trace() -> AdaptationTrace:
+    return rm3d_reference_trace()

@@ -1,0 +1,55 @@
+"""Ablation — deriving Table 2 from measurements vs expert assignment.
+
+Section 4.4: partitioners are assigned to octants "based on their ability
+to meet the requirements of that octant".  The
+:mod:`repro.policy.derive` module mechanizes that: measure every
+partitioner's PAC metrics on the octant's snapshots, weight the components
+by the octant's requirements, and rank.  The derived ranking should
+reproduce the paper's expert table for most octants — showing Table 2 is
+a consequence of the PAC metric, not an arbitrary choice.
+"""
+
+from repro.policy import TABLE2_RECOMMENDATIONS, OctantAxes
+from repro.policy.derive import derive_recommendations
+
+
+def test_ablation_derived_policy(rm3d_trace, benchmark):
+    derived = benchmark.pedantic(
+        lambda: derive_recommendations(
+            rm3d_trace, num_procs=64, max_snapshots_per_octant=6
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The ISP variants are one family: G-MISP vs G-MISP+SP rankings can
+    # swap on partition-time jitter (a genuine PAC component measured by
+    # wall clock), so agreement is scored exactly and per family.
+    families = {
+        "SFC": "patch", "pBD-ISP": "geometric",
+        "ISP": "isp", "G-MISP": "isp", "G-MISP+SP": "isp", "SP-ISP": "isp",
+    }
+    print("\nAblation — measured PAC ranking vs the paper's Table 2")
+    hits = 0
+    family_hits = 0
+    for octant in sorted(derived, key=lambda o: o.value):
+        top = derived[octant][:3]
+        paper = TABLE2_RECOMMENDATIONS[octant]
+        ok = top[0] == paper[0]
+        hits += ok
+        family_hits += families[top[0]] == families[paper[0]]
+        print(f"  {octant.value:5s} derived={', '.join(top):<30} "
+              f"paper={', '.join(paper):<26} {'ok' if ok else 'miss'}")
+    print(f"  top-choice agreement: {hits}/{len(derived)} octants "
+          f"(family level: {family_hits}/{len(derived)})")
+
+    assert len(derived) == 8, "the trace must populate all octants"
+    assert hits >= 5, "derived ranking must reproduce most of Table 2"
+    assert family_hits >= 6, (
+        "derived family split must reproduce the Table 2 structure"
+    )
+    # The structural split must emerge: comm-dominated octants derive a
+    # geometric (pBD-ISP) first choice.
+    for octant, ranking in derived.items():
+        if OctantAxes.of(octant).comm_dominated:
+            assert ranking[0] == "pBD-ISP"

@@ -1,0 +1,40 @@
+"""Ablation — predictive (PF-based) tie-breaking vs first recommendation.
+
+Table 2 lists several acceptable partitioners for half the octants.  The
+plain meta-partitioner takes the first; the predictive selector
+trial-partitions every candidate and composes a performance-function
+prediction of the interval time (research challenge 1 of the paper).
+Prediction costs real partitioning work per regrid, so the ablation
+checks the decision quality actually pays for it.
+"""
+
+from repro.core import MetaPartitioner, PredictiveSelector
+from repro.execsim import ExecutionSimulator
+from repro.gridsys import sp2_blue_horizon
+
+
+def run_both(trace):
+    cluster = sp2_blue_horizon(64)
+    sim = ExecutionSimulator(cluster, num_procs=64)
+    first = sim.run(trace, MetaPartitioner())
+    predictive_selector = PredictiveSelector(cluster=cluster, num_procs=64)
+    predictive = sim.run(trace, predictive_selector)
+    return first, predictive, predictive_selector
+
+
+def test_ablation_predictive_selection(rm3d_trace, benchmark):
+    first, predictive, selector = benchmark.pedantic(
+        run_both, args=(rm3d_trace,), rounds=1, iterations=1
+    )
+
+    print("\nAblation — candidate selection within the Table 2 policy")
+    print(f"  first recommendation: rt={first.total_runtime:7.1f}s "
+          f"usage={first.partitioner_usage()}")
+    print(f"  PF-predictive       : rt={predictive.total_runtime:7.1f}s "
+          f"usage={predictive.partitioner_usage()}")
+    print(f"  tie-breaks predicted: {len(selector.predictions)}")
+
+    # The predictive selector must exploit the wider candidate set ...
+    assert len(predictive.partitioner_usage()) >= len(first.partitioner_usage())
+    # ... and never lose more than a few percent to the simple rule.
+    assert predictive.total_runtime < first.total_runtime * 1.05

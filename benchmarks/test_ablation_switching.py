@@ -1,0 +1,39 @@
+"""Ablation — meta-partitioner switching hysteresis.
+
+DESIGN.md: repartitioning on every octant change risks thrash when the
+application sits near an octant boundary.  Hysteresis trades a little
+selection lag for fewer partitioner switches; total runtime should stay
+within a few percent while the switch count drops.
+"""
+
+from repro.core import MetaPartitioner, PragmaRuntime
+from repro.execsim import ExecutionSimulator
+from repro.gridsys import sp2_blue_horizon
+
+
+def run_with_hysteresis(trace, hysteresis):
+    sim = ExecutionSimulator(sp2_blue_horizon(64), num_procs=64)
+    meta = MetaPartitioner(hysteresis=hysteresis)
+    result = sim.run(trace, meta)
+    labels = [label for _, _, label in meta.selections]
+    switches = sum(a != b for a, b in zip(labels, labels[1:]))
+    return result, switches
+
+
+def test_ablation_switching_hysteresis(rm3d_trace, benchmark):
+    def run_all():
+        return {h: run_with_hysteresis(rm3d_trace, h) for h in (0, 1, 2)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nAblation — octant-switch hysteresis")
+    print(f"{'hysteresis':>11} {'runtime(s)':>11} {'switches':>9} "
+          f"{'migration-load':>15}")
+    for h, (res, switches) in results.items():
+        mig = sum(r.metrics.data_migration for r in res.records)
+        print(f"{h:>11} {res.total_runtime:>11.1f} {switches:>9} {mig:>15.3g}")
+
+    rt0, sw0 = results[0][0].total_runtime, results[0][1]
+    rt2, sw2 = results[2][0].total_runtime, results[2][1]
+    assert sw2 <= sw0, "hysteresis must not increase switch count"
+    assert rt2 < rt0 * 1.10, "hysteresis must not cost more than ~10% runtime"

@@ -1,0 +1,22 @@
+"""Figure 1 — The CATALINA architecture, exercised end to end.
+
+Drives spec → template → ADM → CAs → Message Center through an injected
+node failure and verifies each architectural element did its job.  See
+:mod:`repro.experiments.fig1`.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_catalina_architecture(benchmark):
+    env = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    print("\n" + fig1.render(env))
+
+    # Every architectural element participated.
+    assert env.template.name == "performance-managed"
+    assert env.done, "application must complete despite the failure"
+    assert env.components[0].migrations >= 1, "ADM must migrate off node 0"
+    assert env.components[0].node_id != 0
+    assert any(agent.events_published > 0 for agent in env.agents)
+    assert env.message_center.delivered_count > 0
+    assert len(env.adm.decisions) >= 1

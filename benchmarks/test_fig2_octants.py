@@ -1,0 +1,26 @@
+"""Figure 2 — The octant approach for characterizing application state.
+
+Synthesizes a grid hierarchy for each corner of the state cube,
+classifies it, and checks each lands in its octant.  See
+:mod:`repro.experiments.fig2`.
+"""
+
+from repro.experiments import fig2
+from repro.policy import OctantAxes
+
+
+def test_fig2_octant_cube(benchmark):
+    results = benchmark(fig2.run)
+    print("\n" + fig2.render(results))
+
+    failures = []
+    for (scattered, moving, thin), (octant, _sig) in results.items():
+        expected = OctantAxes(
+            scattered=scattered, high_dynamics=moving, comm_dominated=thin
+        ).octant()
+        if octant is not expected:
+            failures.append(((scattered, moving, thin), octant, expected))
+    assert not failures, f"corner misclassifications: {failures}"
+    assert {o.value for o, _ in results.values()} == {
+        "I", "II", "III", "IV", "V", "VI", "VII", "VIII"
+    }

@@ -1,0 +1,19 @@
+"""Table 2 — Recommendations for mapping octants onto partitioning schemes.
+
+Reproduced by querying the default policy knowledge base for every octant
+(the associative interface agents use at runtime).  See
+:mod:`repro.experiments.table2`.
+"""
+
+from repro.experiments import table2
+from repro.policy import Octant, TABLE2_RECOMMENDATIONS
+
+
+def test_table2_policy_recommendations(benchmark):
+    actions = benchmark(table2.run)
+    print("\n" + table2.render(actions))
+
+    for octant in Octant:
+        assert actions[octant]["partitioners"] == table2.PAPER[octant.value]
+        assert actions[octant]["partitioner"] == table2.PAPER[octant.value][0]
+        assert TABLE2_RECOMMENDATIONS[octant] == table2.PAPER[octant.value]

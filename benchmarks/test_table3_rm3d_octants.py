@@ -1,0 +1,26 @@
+"""Table 3 — Characterizing RM3D application run-time state.
+
+The synthetic RM3D trace is classified with the octant classifier and
+partitioners are selected through the Table 2 policy base; the sampled
+snapshots must reproduce the paper's rows.  See
+:mod:`repro.experiments.table3`.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_rm3d_octant_characterization(rm3d_trace, benchmark):
+    rows = benchmark.pedantic(table3.run, args=(rm3d_trace,), rounds=1,
+                              iterations=1)
+    print("\n" + table3.render(rows))
+
+    assert len(rows) >= 202, "paper: trace consisted of over 200 snap-shots"
+    octants_seen = {r.octant.value for r in rows}
+    assert octants_seen == {"I", "II", "III", "IV", "V", "VI", "VII", "VIII"}, (
+        "the RM3D run should visit every octant"
+    )
+    matches = sum(
+        rows[idx].octant.value == oct_ and rows[idx].partitioner == part
+        for idx, (oct_, part) in table3.PAPER.items()
+    )
+    assert matches == 8, "sampled snapshots must match the paper's Table 3"

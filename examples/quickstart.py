@@ -1,0 +1,60 @@
+"""Quickstart: adaptive runtime management of a small SAMR run.
+
+Walks the full Pragma loop on a laptop-sized problem:
+
+1. characterize the application — run the synthetic RM3D driver and
+   capture its adaptation trace;
+2. characterize its state — classify every snapshot into an octant;
+3. manage the run — let the meta-partitioner pick partitioners from the
+   policy base and compare against a static baseline.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.amr.regrid import RegridPolicy
+from repro.apps import RM3D, RM3DConfig
+from repro.core import PragmaRuntime
+from repro.gridsys import sp2_blue_horizon
+from repro.policy import classify_trace
+
+
+def main() -> None:
+    # A reduced RM3D: 64x16x16 base grid, 160 coarse steps.
+    config = RM3DConfig(
+        shape=(64, 16, 16),
+        interface_x=20.0,
+        shock_entry_snapshot=6.0,
+        reshock_snapshot=30.0,
+        num_seed_clumps=5,
+        num_mixing_structures=10,
+    )
+    app = RM3D(config)
+    policy = RegridPolicy(ratio=2, thresholds=(0.2, 0.45, 0.7),
+                          regrid_interval=4)
+
+    runtime = PragmaRuntime(cluster=sp2_blue_horizon(16), num_procs=16)
+
+    print("1. capturing the adaptation trace ...")
+    trace = runtime.characterize(app, policy, num_coarse_steps=160)
+    print(f"   {len(trace)} snapshots, "
+          f"{trace.snapshots[-1].num_patches} patches at the end")
+
+    print("2. classifying application state (octant approach) ...")
+    states = classify_trace(trace)
+    octants = [s.octant.value for s in states]
+    print("   octant timeline:", " ".join(octants[::4]))
+
+    print("3. adaptive vs static partitioning ...")
+    report = runtime.run_adaptive(trace, compare_with=("G-MISP+SP", "SFC"))
+    print(f"   adaptive : {report.adaptive.total_runtime:8.1f} s "
+          f"(imbalance {report.adaptive.mean_imbalance_pct:.1f}%)")
+    for name, res in report.static.items():
+        print(f"   {name:<9}: {res.total_runtime:8.1f} s "
+              f"(imbalance {res.mean_imbalance_pct:.1f}%)")
+    print(f"   improvement over slowest static: "
+          f"{report.improvement_over_worst_pct:.1f}%")
+    print(f"   partitioners used: {report.adaptive.partitioner_usage()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of Pragma (Parashar & Hariri, IPDPS 2002).
+
+Pragma is an adaptive runtime infrastructure for grid applications.  This
+package reimplements the paper's four components — system characterization
+(:mod:`repro.monitoring`), performance functions (:mod:`repro.perf`),
+application characterization (:mod:`repro.policy.octant`), and the agent
+based control network (:mod:`repro.agents`) — plus every substrate the
+paper's evaluation depends on: a structured AMR simulator
+(:mod:`repro.amr`), synthetic adaptive applications (:mod:`repro.apps`),
+a grid/cluster simulator (:mod:`repro.gridsys`), the SAMR partitioner
+suite (:mod:`repro.partitioners`), and a discrete-event execution
+simulator (:mod:`repro.execsim`).
+
+The top-level facade lives in :mod:`repro.core`:
+
+>>> from repro.core import PragmaRuntime, MetaPartitioner
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "amr",
+    "sfc",
+    "apps",
+    "gridsys",
+    "monitoring",
+    "perf",
+    "partitioners",
+    "policy",
+    "agents",
+    "execsim",
+    "core",
+]

@@ -1,0 +1,66 @@
+"""CATALINA-style agent-based application management (Section 3.4).
+
+The active control network: an in-process, deterministic reimplementation
+of the CATALINA architecture of Figure 1 —
+
+- :class:`MessageCenter` — ports/mailboxes for all agent communication,
+- :class:`ApplicationSpec` (built by the AME) — application requirements
+  and management schemes,
+- :class:`TemplateRegistry` — blueprint discovery for execution
+  environments,
+- :class:`ManagementComputingSystem` (MCS) — builds the environment,
+  assigning an :class:`ApplicationDelegatedManager` (ADM) per managed
+  attribute and a :class:`ComponentAgent` (CA) per application component,
+- sensors and actuators embedded with components (interrogate, suspend,
+  checkpoint, migrate).
+"""
+
+from repro.agents.messages import Message
+from repro.agents.message_center import MessageCenter, Port
+from repro.agents.component import ManagedComponent, ComponentState
+from repro.agents.sensors import ComponentSensor, ThroughputSensor, ProgressSensor
+from repro.agents.actuators import (
+    ComponentActuator,
+    SuspendActuator,
+    ResumeActuator,
+    CheckpointActuator,
+    MigrateActuator,
+)
+from repro.agents.component_agent import ComponentAgent, Requirement
+from repro.agents.adm import ApplicationDelegatedManager, ManagementScheme
+from repro.agents.templates import Template, TemplateRegistry, builtin_templates
+from repro.agents.ame import ApplicationSpec, ManagementEditor
+from repro.agents.mcs import ManagementComputingSystem, ExecutionEnvironment
+from repro.agents.characterization_agent import (
+    CharacterizationAgent,
+    CharacterizationEvent,
+)
+
+__all__ = [
+    "Message",
+    "MessageCenter",
+    "Port",
+    "ManagedComponent",
+    "ComponentState",
+    "ComponentSensor",
+    "ThroughputSensor",
+    "ProgressSensor",
+    "ComponentActuator",
+    "SuspendActuator",
+    "ResumeActuator",
+    "CheckpointActuator",
+    "MigrateActuator",
+    "ComponentAgent",
+    "Requirement",
+    "ApplicationDelegatedManager",
+    "ManagementScheme",
+    "Template",
+    "TemplateRegistry",
+    "builtin_templates",
+    "ApplicationSpec",
+    "ManagementEditor",
+    "ManagementComputingSystem",
+    "ExecutionEnvironment",
+    "CharacterizationAgent",
+    "CharacterizationEvent",
+]

@@ -1,0 +1,111 @@
+"""Application-level actuators.
+
+"The CA intervenes whenever component execution on the assigned machine
+cannot meet its requirements using component actuators that can suspend,
+save component execution state, or migrate the component execution to
+another machine" (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.agents.component import ComponentState, ManagedComponent
+
+__all__ = [
+    "ComponentActuator",
+    "SuspendActuator",
+    "ResumeActuator",
+    "CheckpointActuator",
+    "MigrateActuator",
+]
+
+
+class ComponentActuator(abc.ABC):
+    """A control embedded with one component."""
+
+    def __init__(self, component: ManagedComponent) -> None:
+        self.component = component
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Actuator identifier."""
+
+    @abc.abstractmethod
+    def actuate(self, t: float, **kwargs) -> bool:
+        """Apply the action at time ``t``; returns success."""
+
+
+class SuspendActuator(ComponentActuator):
+    """Pause a running component."""
+
+    @property
+    def name(self) -> str:
+        return "suspend"
+
+    def actuate(self, t: float, **kwargs) -> bool:
+        if self.component.state is not ComponentState.RUNNING:
+            return False
+        self.component.state = ComponentState.SUSPENDED
+        return True
+
+
+class ResumeActuator(ComponentActuator):
+    """Resume a suspended component."""
+
+    @property
+    def name(self) -> str:
+        return "resume"
+
+    def actuate(self, t: float, **kwargs) -> bool:
+        if self.component.state is not ComponentState.SUSPENDED:
+            return False
+        self.component.state = ComponentState.RUNNING
+        return True
+
+
+class CheckpointActuator(ComponentActuator):
+    """Save the component's execution state."""
+
+    @property
+    def name(self) -> str:
+        return "checkpoint"
+
+    def actuate(self, t: float, **kwargs) -> bool:
+        if self.component.state is ComponentState.MIGRATING:
+            return False
+        self.component.checkpoint = self.component.progress
+        return True
+
+
+class MigrateActuator(ComponentActuator):
+    """Move the component to another node, restoring from checkpoint.
+
+    A failed component restarts from its last checkpoint (work since then
+    is lost); a live component carries its progress along.  ``target``
+    must name a node that is currently alive.
+    """
+
+    @property
+    def name(self) -> str:
+        return "migrate"
+
+    def actuate(self, t: float, *, target: int | None = None, **kwargs) -> bool:
+        comp = self.component
+        if target is None:
+            raise ValueError("migrate requires a target node")
+        if not (0 <= target < comp.cluster.num_nodes):
+            raise ValueError(
+                f"target {target} out of range [0, {comp.cluster.num_nodes})"
+            )
+        if not comp.cluster.failures.is_alive(target, t):
+            return False
+        if comp.state is ComponentState.DONE:
+            return False
+        if comp.state is ComponentState.FAILED:
+            comp.progress = comp.checkpoint
+        comp.node_id = target
+        comp.state = ComponentState.RUNNING
+        comp.migrations += 1
+        return True

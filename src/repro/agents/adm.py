@@ -1,0 +1,123 @@
+"""Application Delegated Managers (ADMs).
+
+"The MCS assigns an Application Delegated Manager (ADM) to manage one or
+more application attributes (performance, fault, security, etc.) ...  to
+manage the component performance, ADM may use active redundancy, passive
+redundancy, or may migrate the task to a faster machine.  The appropriate
+management scheme is selected at runtime."  Local CA decisions are
+"hierarchically consolidated by the application delegation manager agent"
+(Section 4.7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.component_agent import ComponentAgent
+from repro.agents.message_center import MessageCenter
+from repro.agents.messages import Message
+from repro.gridsys.cluster import Cluster
+from repro.monitoring.monitor import ResourceMonitor
+
+__all__ = ["ManagementScheme", "ApplicationDelegatedManager"]
+
+
+class ManagementScheme(enum.Enum):
+    """Strategies the ADM can select at runtime for a managed attribute."""
+
+    MIGRATION = "migration"            # move work to a faster/live machine
+    PASSIVE_REDUNDANCY = "passive"     # checkpoint + restart on failure
+    ACTIVE_REDUNDANCY = "active"       # run copies (not used by default)
+
+
+@dataclass(slots=True)
+class ApplicationDelegatedManager:
+    """Consolidates CA events and issues global management directives.
+
+    Subscribes to failure and requirement-violation topics; on each tick it
+    drains its mailbox, selects a management scheme, and (for the default
+    MIGRATION scheme) directs the affected CA to migrate its component to
+    the node the resource monitor forecasts as best.
+    """
+
+    message_center: MessageCenter
+    cluster: Cluster
+    monitor: ResourceMonitor | None = None
+    attribute: str = "performance"
+    port_name: str = "adm"
+    agents: dict[str, ComponentAgent] = field(default_factory=dict)
+    decisions: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.message_center.register(self.port_name)
+        for topic in (
+            "component-failed",
+            "requirement-violated.throughput",
+            "requirement-violated.healthy",
+        ):
+            self.message_center.subscribe(self.port_name, topic)
+
+    def launch_agent(self, agent: ComponentAgent) -> None:
+        """Adopt a CA (normally called by the MCS at environment build)."""
+        agent.adm_port = self.port_name
+        self.agents[agent.component.name] = agent
+
+    def select_scheme(self, topic: str) -> ManagementScheme:
+        """Runtime scheme selection: failures migrate from the checkpoint,
+        performance violations migrate to a faster machine."""
+        return ManagementScheme.MIGRATION
+
+    def tick(self, t: float) -> None:
+        """Consolidate events and issue directives."""
+        handled: set[str] = set()
+        while (msg := self.message_center.receive(self.port_name)) is not None:
+            if msg.topic == "actuate-ack":
+                continue
+            comp_name = msg.payload.get("component")
+            if comp_name is None or comp_name in handled:
+                continue
+            handled.add(comp_name)
+            scheme = self.select_scheme(msg.topic)
+            if scheme is ManagementScheme.MIGRATION:
+                self._direct_migration(t, comp_name, msg.payload)
+
+    def best_node(self, t: float, exclude: int) -> int:
+        """Node with the highest (forecast) effective speed, not ``exclude``.
+
+        Uses the resource monitor's CPU forecast when available —
+        proactive management — falling back to the cluster's current truth.
+        """
+        n = self.cluster.num_nodes
+        if self.monitor is not None:
+            cpu = self.monitor.forecast_vector("cpu")
+            speeds = self.cluster.speeds() * np.clip(cpu, 0.0, 1.0)
+        else:
+            speeds = np.array(
+                [self.cluster.effective_speed(i, t) for i in range(n)]
+            )
+        order = np.argsort(-speeds, kind="stable")
+        for node in order:
+            if int(node) != exclude and self.cluster.failures.is_alive(int(node), t):
+                return int(node)
+        return exclude
+
+    def _direct_migration(self, t: float, comp_name: str, payload: dict) -> None:
+        agent = self.agents.get(comp_name)
+        if agent is None:
+            return
+        target = self.best_node(t, exclude=agent.component.node_id)
+        if target == agent.component.node_id:
+            return
+        self.message_center.send(
+            Message(
+                sender=self.port_name,
+                dest=agent.port.name,
+                topic="actuate",
+                payload={"actuator": "migrate", "kwargs": {"target": target}},
+                time=t,
+            )
+        )
+        self.decisions.append((t, comp_name, f"migrate->{target}"))

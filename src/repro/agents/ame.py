@@ -1,0 +1,81 @@
+"""The Application Management Editor (AME).
+
+"The Application Management Editor (AME) tool provides application
+developers with the services required for specifying and characterizing
+application requirements in terms of performance, fault-tolerance and
+security, and for specifying the appropriate management scheme."
+
+The :class:`ManagementEditor` is a small builder producing an
+:class:`ApplicationSpec` that the MCS consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ApplicationSpec", "ManagementEditor"]
+
+
+@dataclass(frozen=True, slots=True)
+class ApplicationSpec:
+    """A characterized application ready for environment construction."""
+
+    name: str
+    components: tuple[str, ...]
+    work_per_component: Mapping[str, float]
+    requirements: Mapping[str, float]
+    management: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("application needs at least one component")
+        missing = [c for c in self.components if c not in self.work_per_component]
+        if missing:
+            raise ValueError(f"components missing work estimates: {missing}")
+        bad = {c: w for c, w in self.work_per_component.items() if w <= 0}
+        if bad:
+            raise ValueError(f"non-positive work estimates: {bad}")
+
+
+class ManagementEditor:
+    """Builder for :class:`ApplicationSpec`."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("application name must be non-empty")
+        self._name = name
+        self._components: dict[str, float] = {}
+        self._requirements: dict[str, float] = {}
+        self._management: dict[str, str] = {}
+
+    def add_component(self, name: str, work: float) -> "ManagementEditor":
+        """Declare one application task and its work estimate."""
+        if name in self._components:
+            raise ValueError(f"component {name!r} already declared")
+        if work <= 0:
+            raise ValueError(f"work must be positive, got {work}")
+        self._components[name] = work
+        return self
+
+    def require(self, attribute: str, level: float) -> "ManagementEditor":
+        """Declare a requirement (performance / fault_tolerance / security)."""
+        if level < 0:
+            raise ValueError(f"requirement level must be >= 0, got {level}")
+        self._requirements[attribute] = level
+        return self
+
+    def manage(self, attribute: str, scheme: str) -> "ManagementEditor":
+        """Pin a management scheme for an attribute (optional)."""
+        self._management[attribute] = scheme
+        return self
+
+    def build(self) -> ApplicationSpec:
+        """Produce the immutable spec."""
+        return ApplicationSpec(
+            name=self._name,
+            components=tuple(self._components),
+            work_per_component=dict(self._components),
+            requirements=dict(self._requirements),
+            management=dict(self._management),
+        )

@@ -1,0 +1,124 @@
+"""Agent-based automatic application characterization.
+
+Section 4.5: "The application characterization presented in this paper
+was performed manually.  However, we are currently developing agent-based
+mechanisms for automatically performing the characterization at
+run-time."  And Section 4.7: "a local agent is used to generate events
+when the load reaches a certain threshold - this event can then trigger
+repartitioning."
+
+The :class:`CharacterizationAgent` implements both: it observes the grid
+hierarchy at each regrid step, classifies it into an octant (keeping the
+previous footprint for the dynamics axis), publishes octant transitions
+and load-threshold events to the Message Center, and answers queries with
+the current application state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.message_center import MessageCenter
+from repro.amr.hierarchy import GridHierarchy
+from repro.policy.octant import (
+    AppSignals,
+    Octant,
+    OctantThresholds,
+    classify_hierarchy,
+)
+
+__all__ = ["CharacterizationAgent", "CharacterizationEvent"]
+
+
+@dataclass(frozen=True, slots=True)
+class CharacterizationEvent:
+    """One published characterization event."""
+
+    step: int
+    topic: str
+    octant: Octant
+    signals: AppSignals
+
+
+class CharacterizationAgent:
+    """Classifies application state online and publishes transitions.
+
+    Topics published on the message center:
+
+    - ``app-state`` — every observation (octant + raw signals),
+    - ``octant-transition`` — when the octant changed since the last
+      regrid (the repartition trigger for the meta-partitioner),
+    - ``load-threshold`` — when the hierarchy load jumped by more than
+      ``load_jump_fraction`` between regrids (Section 4.7's example
+      trigger).
+    """
+
+    def __init__(
+        self,
+        message_center: MessageCenter,
+        *,
+        thresholds: OctantThresholds | None = None,
+        load_jump_fraction: float = 0.25,
+        port_name: str = "characterization",
+    ) -> None:
+        if load_jump_fraction <= 0:
+            raise ValueError(
+                f"load_jump_fraction must be positive, got {load_jump_fraction}"
+            )
+        self.mc = message_center
+        self.thresholds = thresholds or OctantThresholds()
+        self.load_jump_fraction = load_jump_fraction
+        self.port = self.mc.register(port_name)
+        self._previous: GridHierarchy | None = None
+        self._previous_octant: Octant | None = None
+        self._previous_load: float | None = None
+        self.history: list[CharacterizationEvent] = []
+
+    @property
+    def current_octant(self) -> Octant | None:
+        """Most recently observed octant (``None`` before any observation)."""
+        return self._previous_octant
+
+    def observe(self, step: int, hierarchy: GridHierarchy) -> Octant:
+        """Characterize the hierarchy at a regrid step; publish events."""
+        octant, signals = classify_hierarchy(
+            hierarchy, self._previous, self.thresholds
+        )
+        self._publish(step, "app-state", octant, signals)
+
+        if self._previous_octant is not None and octant is not self._previous_octant:
+            self._publish(step, "octant-transition", octant, signals)
+
+        load = hierarchy.load_per_coarse_step()
+        if self._previous_load is not None and self._previous_load > 0:
+            jump = abs(load - self._previous_load) / self._previous_load
+            if jump > self.load_jump_fraction:
+                self._publish(step, "load-threshold", octant, signals)
+
+        self._previous = hierarchy
+        self._previous_octant = octant
+        self._previous_load = load
+        return octant
+
+    def _publish(
+        self, step: int, topic: str, octant: Octant, signals: AppSignals
+    ) -> None:
+        event = CharacterizationEvent(
+            step=step, topic=topic, octant=octant, signals=signals
+        )
+        self.history.append(event)
+        self.mc.publish(
+            self.port.name,
+            topic,
+            {
+                "step": step,
+                "octant": octant.value,
+                "num_components": signals.num_components,
+                "spread": signals.spread,
+                "activity": signals.activity,
+                "comm_ratio": signals.comm_ratio,
+            },
+            time=float(step),
+        )

@@ -1,0 +1,86 @@
+"""Managed application components.
+
+A :class:`ManagedComponent` stands for one task of the distributed
+application (e.g. the solver ranks working one partition).  It runs on a
+cluster node, makes progress at a rate set by that node's effective speed,
+and exposes the state machine the actuators drive: running → suspended →
+migrating → running, with checkpoints capturing progress.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.gridsys.cluster import Cluster
+
+__all__ = ["ComponentState", "ManagedComponent"]
+
+
+class ComponentState(enum.Enum):
+    """Lifecycle states of a managed component."""
+
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    MIGRATING = "migrating"
+    FAILED = "failed"
+    DONE = "done"
+
+
+@dataclass(slots=True)
+class ManagedComponent:
+    """One application task executing on a simulated cluster node."""
+
+    name: str
+    cluster: Cluster
+    node_id: int
+    total_work: float
+    progress: float = 0.0
+    state: ComponentState = ComponentState.RUNNING
+    checkpoint: float = 0.0
+    migrations: int = 0
+    _last_rate: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.node_id < self.cluster.num_nodes):
+            raise ValueError(
+                f"node {self.node_id} out of range [0, {self.cluster.num_nodes})"
+            )
+        if self.total_work <= 0:
+            raise ValueError(f"total_work must be positive, got {self.total_work}")
+
+    @property
+    def done(self) -> bool:
+        """True once all work has completed."""
+        return self.progress >= self.total_work
+
+    @property
+    def throughput(self) -> float:
+        """Work rate observed during the last advance (work units / s)."""
+        return self._last_rate
+
+    def advance(self, t: float, dt: float) -> float:
+        """Execute for ``dt`` seconds starting at time ``t``.
+
+        Returns work completed.  A component on a failed node transitions
+        to FAILED and makes no progress; suspended/migrating components
+        idle.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if self.state is ComponentState.DONE:
+            return 0.0
+        if not self.cluster.failures.is_alive(self.node_id, t):
+            self.state = ComponentState.FAILED
+            self._last_rate = 0.0
+            return 0.0
+        if self.state is not ComponentState.RUNNING:
+            self._last_rate = 0.0
+            return 0.0
+        rate = self.cluster.effective_speed(self.node_id, t)
+        work = min(rate * dt, self.total_work - self.progress)
+        self.progress += work
+        self._last_rate = rate
+        if self.done:
+            self.state = ComponentState.DONE
+        return work

@@ -1,0 +1,144 @@
+"""Component Agents (CAs).
+
+"For each task/component in the application, the ADM launches an
+appropriate Component Agent (CA) to monitor execution using appropriate
+component sensors.  The CA intervenes whenever component execution on the
+assigned machine cannot meet its requirements using component actuators."
+
+A CA is *autonomous* for local decisions (Section 4.7): it monitors its
+sensors each tick, publishes threshold events to the message center, and
+applies local actuation (e.g. requesting migration off a failed node) —
+but complies with ADM directives arriving on its mailbox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.actuators import (
+    CheckpointActuator,
+    ComponentActuator,
+    MigrateActuator,
+    ResumeActuator,
+    SuspendActuator,
+)
+from repro.agents.component import ComponentState, ManagedComponent
+from repro.agents.message_center import MessageCenter
+from repro.agents.messages import Message
+from repro.agents.sensors import (
+    ComponentSensor,
+    ProgressSensor,
+    StateSensor,
+    ThroughputSensor,
+)
+
+__all__ = ["Requirement", "ComponentAgent"]
+
+
+@dataclass(frozen=True, slots=True)
+class Requirement:
+    """A maintained constraint on one sensor: value must stay >= threshold."""
+
+    sensor: str
+    min_value: float
+
+    def violated(self, value: float) -> bool:
+        """True when the measured value breaks the requirement."""
+        return value < self.min_value
+
+
+class ComponentAgent:
+    """Monitors one component and keeps its requirements satisfied."""
+
+    def __init__(
+        self,
+        component: ManagedComponent,
+        message_center: MessageCenter,
+        requirements: list[Requirement] | None = None,
+        adm_port: str = "adm",
+        checkpoint_period: float = 10.0,
+    ) -> None:
+        self.component = component
+        self.mc = message_center
+        self.requirements = requirements or []
+        self.adm_port = adm_port
+        self.checkpoint_period = checkpoint_period
+        self.port = self.mc.register(f"ca.{component.name}")
+        self.sensors: dict[str, ComponentSensor] = {
+            s.name: s
+            for s in (
+                ThroughputSensor(component),
+                ProgressSensor(component),
+                StateSensor(component),
+            )
+        }
+        self.actuators: dict[str, ComponentActuator] = {
+            a.name: a
+            for a in (
+                SuspendActuator(component),
+                ResumeActuator(component),
+                CheckpointActuator(component),
+                MigrateActuator(component),
+            )
+        }
+        self._last_checkpoint = 0.0
+        self.events_published = 0
+        self.actions_taken: list[tuple[float, str]] = []
+
+    def interrogate(self, t: float) -> dict[str, float]:
+        """Read every sensor (the runtime-interrogation interface)."""
+        return {name: s.read(t) for name, s in self.sensors.items()}
+
+    def tick(self, t: float) -> None:
+        """One management cycle: obey ADM, checkpoint, monitor, escalate."""
+        self._process_directives(t)
+        self._periodic_checkpoint(t)
+        readings = self.interrogate(t)
+
+        if self.component.state is ComponentState.FAILED:
+            self._publish(t, "component-failed", readings)
+            return
+
+        for req in self.requirements:
+            value = readings.get(req.sensor)
+            if value is not None and req.violated(value):
+                self._publish(
+                    t,
+                    f"requirement-violated.{req.sensor}",
+                    {**readings, "threshold": req.min_value},
+                )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _process_directives(self, t: float) -> None:
+        while (msg := self.mc.receive(self.port.name)) is not None:
+            if msg.topic == "actuate":
+                name = msg.payload["actuator"]
+                kwargs = dict(msg.payload.get("kwargs", {}))
+                ok = self.actuators[name].actuate(t, **kwargs)
+                self.actions_taken.append((t, name))
+                self.mc.send(
+                    Message(
+                        sender=self.port.name,
+                        dest=msg.sender,
+                        topic="actuate-ack",
+                        payload={"actuator": name, "ok": ok},
+                        time=t,
+                    )
+                )
+
+    def _periodic_checkpoint(self, t: float) -> None:
+        if t - self._last_checkpoint >= self.checkpoint_period:
+            if self.actuators["checkpoint"].actuate(t):
+                self._last_checkpoint = t
+                self.actions_taken.append((t, "checkpoint"))
+
+    def _publish(self, t: float, topic: str, payload: dict) -> None:
+        self.mc.publish(
+            self.port.name,
+            topic,
+            {"component": self.component.name, "node": self.component.node_id,
+             **payload},
+            time=t,
+        )
+        self.events_published += 1

@@ -1,0 +1,153 @@
+"""The Management Computing System (MCS).
+
+"The next step utilizes the management services provided by the Management
+Computing System (MCS) to build the appropriate application execution
+environment that can dynamically control the allocated resources to
+maintain application requirements during its execution."
+
+:meth:`ManagementComputingSystem.build_environment` performs the Figure 1
+pipeline: spec → template discovery → ADM assignment → CA launch.  The
+resulting :class:`ExecutionEnvironment` is stepped with :meth:`run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.adm import ApplicationDelegatedManager
+from repro.agents.ame import ApplicationSpec
+from repro.agents.component import ComponentState, ManagedComponent
+from repro.agents.component_agent import ComponentAgent, Requirement
+from repro.agents.message_center import MessageCenter
+from repro.agents.templates import Template, TemplateRegistry, builtin_templates
+from repro.gridsys.cluster import Cluster
+from repro.monitoring.monitor import ResourceMonitor
+
+__all__ = ["ExecutionEnvironment", "ManagementComputingSystem"]
+
+
+@dataclass(slots=True)
+class ExecutionEnvironment:
+    """A built application execution environment, ready to run."""
+
+    spec: ApplicationSpec
+    template: Template
+    cluster: Cluster
+    message_center: MessageCenter
+    adm: ApplicationDelegatedManager
+    components: list[ManagedComponent]
+    agents: list[ComponentAgent]
+    monitor: ResourceMonitor | None = None
+    time: float = 0.0
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        """True once every component finished its work."""
+        return all(c.state is ComponentState.DONE for c in self.components)
+
+    def run(self, duration: float, dt: float = 1.0) -> float:
+        """Advance the environment; returns the simulation time reached.
+
+        Each tick: monitor samples (if attached), components execute, CAs
+        manage locally, the ADM consolidates.  Stops early when all
+        components are done.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        end = self.time + duration
+        while self.time < end and not self.done:
+            t = self.time
+            if self.monitor is not None:
+                self.monitor.sample(t)
+            for comp in self.components:
+                comp.advance(t, dt)
+            for agent in self.agents:
+                agent.tick(t)
+            self.adm.tick(t)
+            self.history.append(
+                {
+                    "t": t,
+                    "progress": sum(c.progress for c in self.components),
+                    "states": [c.state.value for c in self.components],
+                    "nodes": [c.node_id for c in self.components],
+                }
+            )
+            self.time += dt
+        return self.time
+
+
+class ManagementComputingSystem:
+    """Builds execution environments from specs and templates."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        registry: TemplateRegistry | None = None,
+        monitor: ResourceMonitor | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.registry = registry or builtin_templates()
+        self.monitor = monitor
+
+    def build_environment(self, spec: ApplicationSpec) -> ExecutionEnvironment:
+        """Figure 1 pipeline: discover template, assign ADM, launch CAs."""
+        matches = self.registry.discover(spec.requirements)
+        if not matches:
+            raise LookupError(
+                f"no template satisfies requirements {dict(spec.requirements)}"
+            )
+        template = matches[0]
+        bp = template.blueprint
+
+        mc = MessageCenter()
+        adm = ApplicationDelegatedManager(
+            message_center=mc,
+            cluster=self.cluster,
+            monitor=self.monitor,
+            attribute="performance",
+        )
+
+        components: list[ManagedComponent] = []
+        agents: list[ComponentAgent] = []
+        # Initial placement: round-robin over the fastest nodes.
+        order = np.argsort(-self.cluster.speeds(), kind="stable")
+        min_frac = float(bp.get("min_throughput_fraction", 0.0))
+        top_speed = float(self.cluster.speeds().max())
+        for i, name in enumerate(spec.components):
+            node = int(order[i % self.cluster.num_nodes])
+            comp = ManagedComponent(
+                name=name,
+                cluster=self.cluster,
+                node_id=node,
+                total_work=float(spec.work_per_component[name]),
+            )
+            reqs = [Requirement(sensor="healthy", min_value=0.5)]
+            if min_frac > 0:
+                reqs.append(
+                    Requirement(
+                        sensor="throughput", min_value=min_frac * top_speed
+                    )
+                )
+            agent = ComponentAgent(
+                component=comp,
+                message_center=mc,
+                requirements=reqs,
+                checkpoint_period=float(bp.get("checkpoint_period", 10.0)),
+            )
+            adm.launch_agent(agent)
+            components.append(comp)
+            agents.append(agent)
+
+        return ExecutionEnvironment(
+            spec=spec,
+            template=template,
+            cluster=self.cluster,
+            message_center=mc,
+            adm=adm,
+            components=components,
+            agents=agents,
+            monitor=self.monitor,
+        )

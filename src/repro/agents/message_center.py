@@ -1,0 +1,118 @@
+"""The CATALINA Message Center.
+
+"CATALINA uses a Message Center (MC) for all the communications between
+its modules and agents.  In the MC, every component is assigned a port
+which acts as its mailbox.  Every message directed to a component is
+placed on this mailbox."
+
+This implementation adds publish/subscribe on topics — the paper's agents
+"publish" local state to the message center so every agent has "direct and
+immediate access to all relevant information" (Section 4.7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.agents.messages import Message
+
+__all__ = ["Port", "MessageCenter"]
+
+
+@dataclass(slots=True)
+class Port:
+    """A named mailbox."""
+
+    name: str
+    mailbox: deque = field(default_factory=deque)
+
+    def __len__(self) -> int:
+        return len(self.mailbox)
+
+
+class MessageCenter:
+    """Port registry, point-to-point delivery, and topic pub/sub."""
+
+    def __init__(self) -> None:
+        self._ports: dict[str, Port] = {}
+        self._subscriptions: dict[str, set[str]] = defaultdict(set)
+        self._delivered = 0
+
+    # -- ports ------------------------------------------------------------------
+
+    def register(self, name: str) -> Port:
+        """Create the mailbox for a component/agent; names are unique."""
+        if not name:
+            raise ValueError("port name must be non-empty")
+        if name in self._ports:
+            raise ValueError(f"port {name!r} already registered")
+        port = Port(name=name)
+        self._ports[name] = port
+        return port
+
+    def unregister(self, name: str) -> None:
+        """Remove a mailbox and all its subscriptions."""
+        if name not in self._ports:
+            raise KeyError(f"no port named {name!r}")
+        del self._ports[name]
+        for subscribers in self._subscriptions.values():
+            subscribers.discard(name)
+
+    def has_port(self, name: str) -> bool:
+        """True if a mailbox exists for ``name``."""
+        return name in self._ports
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Place a message on the destination's mailbox."""
+        if message.dest not in self._ports:
+            raise KeyError(f"no port named {message.dest!r}")
+        self._ports[message.dest].mailbox.append(message)
+        self._delivered += 1
+
+    def receive(self, port_name: str) -> Message | None:
+        """Pop the oldest message from a mailbox, or ``None`` if empty."""
+        if port_name not in self._ports:
+            raise KeyError(f"no port named {port_name!r}")
+        box = self._ports[port_name].mailbox
+        return box.popleft() if box else None
+
+    def drain(self, port_name: str) -> list[Message]:
+        """Pop every pending message from a mailbox."""
+        out = []
+        while (m := self.receive(port_name)) is not None:
+            out.append(m)
+        return out
+
+    # -- publish/subscribe ------------------------------------------------------------
+
+    def subscribe(self, port_name: str, topic: str) -> None:
+        """Deliver future publications on ``topic`` to ``port_name``."""
+        if port_name not in self._ports:
+            raise KeyError(f"no port named {port_name!r}")
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        self._subscriptions[topic].add(port_name)
+
+    def publish(self, sender: str, topic: str, payload: dict, time: float = 0.0) -> int:
+        """Fan a message out to every subscriber of ``topic``.
+
+        Returns the number of mailboxes reached.  Subscribers are visited
+        in sorted order for determinism.
+        """
+        count = 0
+        for dest in sorted(self._subscriptions.get(topic, ())):
+            if dest in self._ports:
+                self.send(
+                    Message(sender=sender, dest=dest, topic=topic,
+                            payload=payload, time=time)
+                )
+                count += 1
+        return count
+
+    @property
+    def delivered_count(self) -> int:
+        """Total messages delivered since construction (diagnostics)."""
+        return self._delivered

@@ -1,0 +1,32 @@
+"""Messages exchanged through the Message Center."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Message"]
+
+_sequence = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message: sender port name → destination port name.
+
+    ``topic`` routes published events (e.g. ``"load-threshold"``);
+    ``payload`` is an arbitrary mapping.  ``seq`` totally orders messages
+    within a run, which keeps the agent system deterministic.
+    """
+
+    sender: str
+    dest: str
+    topic: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    time: float = 0.0
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self) -> None:
+        if not self.topic:
+            raise ValueError("message topic must be non-empty")

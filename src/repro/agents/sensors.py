@@ -1,0 +1,66 @@
+"""Application-level sensors co-located with components.
+
+"Application level sensors and actuators are embedded within the
+application source using high level programming abstractions ... deployed
+(and co-located) with the application's computational data structures"
+(Section 3.4.2).  Here a sensor is an object bound to one component that
+reports a named scalar when interrogated.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.agents.component import ComponentState, ManagedComponent
+
+__all__ = ["ComponentSensor", "ThroughputSensor", "ProgressSensor", "StateSensor"]
+
+
+class ComponentSensor(abc.ABC):
+    """A readout embedded with one component."""
+
+    def __init__(self, component: ManagedComponent) -> None:
+        self.component = component
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Sensor identifier."""
+
+    @abc.abstractmethod
+    def read(self, t: float) -> float:
+        """Current sensor value at time ``t``."""
+
+
+class ThroughputSensor(ComponentSensor):
+    """Observed work rate of the component (work units per second)."""
+
+    @property
+    def name(self) -> str:
+        return "throughput"
+
+    def read(self, t: float) -> float:
+        return self.component.throughput
+
+
+class ProgressSensor(ComponentSensor):
+    """Fraction of the component's work completed, in [0, 1]."""
+
+    @property
+    def name(self) -> str:
+        return "progress"
+
+    def read(self, t: float) -> float:
+        return self.component.progress / self.component.total_work
+
+
+class StateSensor(ComponentSensor):
+    """1.0 while the component is RUNNING or DONE, 0.0 otherwise."""
+
+    @property
+    def name(self) -> str:
+        return "healthy"
+
+    def read(self, t: float) -> float:
+        ok = self.component.state in (ComponentState.RUNNING, ComponentState.DONE)
+        return 1.0 if ok else 0.0

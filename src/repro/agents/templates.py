@@ -1,0 +1,119 @@
+"""Execution-environment templates and their registry.
+
+"To configure the application execution environment, the MCS searches for
+an appropriate template in the template database that can meet all
+application requirements.  The template can be viewed as a blueprint of
+the application execution environment.  The CATALINA template registry is
+being updated to use a JINI-based open architecture to allow third party
+template registration and discovery."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["Template", "TemplateRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Template:
+    """Blueprint of an execution environment.
+
+    ``provides`` declares the capabilities the template guarantees
+    (attribute → level); a template can satisfy an application whose
+    requirement levels do not exceed the provided ones.  ``blueprint``
+    carries construction parameters for the MCS (managed attributes,
+    checkpoint period, CA requirement thresholds).
+    """
+
+    name: str
+    provides: Mapping[str, float]
+    blueprint: Mapping[str, object] = field(default_factory=dict)
+    vendor: str = "builtin"
+
+    def satisfies(self, requirements: Mapping[str, float]) -> bool:
+        """True if every required attribute is provided at >= the level."""
+        return all(
+            attr in self.provides and self.provides[attr] >= level
+            for attr, level in requirements.items()
+        )
+
+
+class TemplateRegistry:
+    """Open registry with third-party registration and discovery."""
+
+    def __init__(self) -> None:
+        self._templates: dict[str, Template] = {}
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def register(self, template: Template, *, replace: bool = False) -> None:
+        """Register a template (third parties included)."""
+        if template.name in self._templates and not replace:
+            raise ValueError(f"template {template.name!r} already registered")
+        self._templates[template.name] = template
+
+    def unregister(self, name: str) -> Template:
+        """Remove and return a template."""
+        if name not in self._templates:
+            raise KeyError(f"no template named {name!r}")
+        return self._templates.pop(name)
+
+    def discover(self, requirements: Mapping[str, float]) -> list[Template]:
+        """All templates satisfying the requirements, best-fit first.
+
+        Best fit = smallest total over-provisioning on the required
+        attributes, tie-broken by name.
+        """
+        matches = [
+            t for t in self._templates.values() if t.satisfies(requirements)
+        ]
+
+        def slack(t: Template) -> float:
+            return sum(
+                t.provides[a] - lvl for a, lvl in requirements.items()
+            )
+
+        matches.sort(key=lambda t: (slack(t), t.name))
+        return matches
+
+
+def builtin_templates() -> TemplateRegistry:
+    """Registry preloaded with the stock execution-environment blueprints."""
+    reg = TemplateRegistry()
+    reg.register(
+        Template(
+            name="performance-managed",
+            provides={"performance": 1.0},
+            blueprint={
+                "attributes": ("performance",),
+                "min_throughput_fraction": 0.5,
+                "checkpoint_period": 10.0,
+            },
+        )
+    )
+    reg.register(
+        Template(
+            name="fault-tolerant",
+            provides={"performance": 0.5, "fault_tolerance": 1.0},
+            blueprint={
+                "attributes": ("performance", "fault"),
+                "min_throughput_fraction": 0.25,
+                "checkpoint_period": 5.0,
+            },
+        )
+    )
+    reg.register(
+        Template(
+            name="best-effort",
+            provides={"performance": 0.1},
+            blueprint={
+                "attributes": (),
+                "min_throughput_fraction": 0.0,
+                "checkpoint_period": 30.0,
+            },
+        )
+    )
+    return reg

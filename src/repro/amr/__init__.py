@@ -1,0 +1,40 @@
+"""Structured adaptive mesh refinement (SAMR) substrate.
+
+The paper's meta-partitioner operates on Berger–Colella style structured
+AMR grid hierarchies: a coarse base grid plus nested levels of factor-``r``
+refined patches that track features of the solution.  This package supplies
+that substrate:
+
+- :mod:`repro.amr.box` — integer index-space box algebra,
+- :mod:`repro.amr.grid` — patches and levels,
+- :mod:`repro.amr.hierarchy` — the grid hierarchy container,
+- :mod:`repro.amr.clustering` — Berger–Rigoutsos point clustering,
+- :mod:`repro.amr.regrid` — flag → cluster → refine regridding,
+- :mod:`repro.amr.workload` — composite load maps over the base grid,
+- :mod:`repro.amr.trace` — adaptation traces (the paper's "snap-shots").
+"""
+
+from repro.amr.box import Box
+from repro.amr.grid import Patch, Level
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.clustering import cluster_flags
+from repro.amr.regrid import Regridder, RegridPolicy
+from repro.amr.workload import WorkloadMap, composite_load_map
+from repro.amr.trace import AdaptationTrace, Snapshot
+from repro.amr.report import hierarchy_report, trace_report
+
+__all__ = [
+    "Box",
+    "Patch",
+    "Level",
+    "GridHierarchy",
+    "cluster_flags",
+    "Regridder",
+    "RegridPolicy",
+    "WorkloadMap",
+    "composite_load_map",
+    "AdaptationTrace",
+    "Snapshot",
+    "hierarchy_report",
+    "trace_report",
+]

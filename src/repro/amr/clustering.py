@@ -1,0 +1,156 @@
+"""Berger–Rigoutsos point clustering.
+
+Turns a boolean array of error-flagged cells into a small set of rectangular
+boxes that cover every flag with at least a target efficiency (fraction of
+cells inside each box that are actually flagged).  This is the standard
+clustering step between error estimation and refinement in SAMR regridding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.box import Box
+
+__all__ = ["cluster_flags"]
+
+
+def cluster_flags(
+    flags: np.ndarray,
+    *,
+    min_efficiency: float = 0.7,
+    min_width: int = 2,
+    max_boxes: int = 4096,
+    origin: tuple[int, int, int] = (0, 0, 0),
+) -> list[Box]:
+    """Cluster flagged cells into boxes (Berger–Rigoutsos).
+
+    Parameters
+    ----------
+    flags:
+        3-D boolean array; ``True`` marks a cell needing refinement.
+    min_efficiency:
+        Accept a box once ``flagged cells / box cells >= min_efficiency``.
+    min_width:
+        Never produce a box narrower than this along any axis (boxes are
+        not split below it; accepted boxes may still be narrower if the
+        flag region itself is).
+    max_boxes:
+        Safety cap on recursion fan-out.
+    origin:
+        Index-space coordinates of ``flags[0, 0, 0]``; returned boxes are
+        expressed in that index space.
+
+    Returns
+    -------
+    list[Box]
+        Disjoint boxes jointly covering every flagged cell.  Empty input
+        (no flags) returns an empty list.
+    """
+    flags = np.asarray(flags, dtype=bool)
+    if flags.ndim != 3:
+        raise ValueError(f"flags must be 3-D, got shape {flags.shape}")
+    if not (0.0 < min_efficiency <= 1.0):
+        raise ValueError(f"min_efficiency must be in (0, 1], got {min_efficiency}")
+    if min_width < 1:
+        raise ValueError(f"min_width must be >= 1, got {min_width}")
+    if not flags.any():
+        return []
+
+    out: list[Box] = []
+    _cluster(flags, origin, min_efficiency, min_width, max_boxes, out)
+    return out
+
+
+def _bounding_box(flags: np.ndarray) -> tuple[tuple[int, int, int], tuple[int, int, int]]:
+    """Tight (lo, hi) of the flagged region in local array coordinates."""
+    idx = np.nonzero(flags)
+    lo = tuple(int(a.min()) for a in idx)
+    hi = tuple(int(a.max()) + 1 for a in idx)
+    return lo, hi  # type: ignore[return-value]
+
+
+def _cluster(
+    flags: np.ndarray,
+    origin: tuple[int, int, int],
+    min_eff: float,
+    min_width: int,
+    max_boxes: int,
+    out: list[Box],
+) -> None:
+    if not flags.any():
+        return
+    lo, hi = _bounding_box(flags)
+    sub = flags[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]]
+    sub_origin = tuple(o + l for o, l in zip(origin, lo))
+    efficiency = sub.mean()
+    shape = sub.shape
+
+    splittable_axes = [a for a in range(3) if shape[a] >= 2 * min_width]
+    if efficiency >= min_eff or not splittable_axes or len(out) >= max_boxes - 1:
+        out.append(Box.from_shape(shape, sub_origin))
+        return
+
+    cut = _choose_cut(sub, splittable_axes, min_width)
+    if cut is None:
+        out.append(Box.from_shape(shape, sub_origin))
+        return
+    axis, pos = cut
+    lo_slice = [slice(None)] * 3
+    hi_slice = [slice(None)] * 3
+    lo_slice[axis] = slice(0, pos)
+    hi_slice[axis] = slice(pos, shape[axis])
+    _cluster(sub[tuple(lo_slice)], sub_origin, min_eff, min_width, max_boxes, out)
+    shifted = list(sub_origin)
+    shifted[axis] += pos
+    _cluster(sub[tuple(hi_slice)], tuple(shifted), min_eff, min_width, max_boxes, out)
+
+
+def _choose_cut(
+    sub: np.ndarray, axes: list[int], min_width: int
+) -> tuple[int, int] | None:
+    """Pick a (axis, position) cut: holes first, then steepest Laplacian sign
+    change in the flag signature, then the midpoint of the longest axis."""
+    # 1. Holes: a zero in the signature means the flag region is separable.
+    best_hole: tuple[int, int] | None = None
+    for axis in axes:
+        sig = _signature(sub, axis)
+        interior = np.nonzero(sig[min_width:len(sig) - min_width] == 0)[0]
+        if interior.size:
+            pos = int(interior[0]) + min_width
+            # Prefer the hole closest to the center of its axis.
+            if best_hole is None:
+                best_hole = (axis, pos)
+    if best_hole is not None:
+        return best_hole
+
+    # 2. Inflection: largest jump in the discrete Laplacian of the signature.
+    best: tuple[int, int, float] | None = None
+    for axis in axes:
+        sig = _signature(sub, axis).astype(float)
+        if len(sig) < 4:
+            continue
+        lap = sig[:-2] - 2.0 * sig[1:-1] + sig[2:]
+        jumps = np.abs(np.diff(lap))
+        valid = np.arange(len(jumps)) + 2  # cut position after cell i+1
+        mask = (valid >= min_width) & (valid <= len(sig) - min_width)
+        if not mask.any():
+            continue
+        j = int(np.argmax(np.where(mask, jumps, -1.0)))
+        if jumps[j] > 0 and (best is None or jumps[j] > best[2]):
+            best = (axis, int(valid[j]), float(jumps[j]))
+    if best is not None:
+        return best[0], best[1]
+
+    # 3. Fallback: halve the longest splittable axis.
+    axis = max(axes, key=lambda a: sub.shape[a])
+    pos = sub.shape[axis] // 2
+    if pos < min_width or sub.shape[axis] - pos < min_width:
+        return None
+    return axis, pos
+
+
+def _signature(sub: np.ndarray, axis: int) -> np.ndarray:
+    """Flag counts collapsed onto ``axis`` (the B-R 'signature')."""
+    other = tuple(a for a in range(3) if a != axis)
+    return sub.sum(axis=other)

@@ -1,0 +1,173 @@
+"""Patches and refinement levels of a SAMR hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.amr.box import Box
+
+__all__ = ["Patch", "Level"]
+
+
+@dataclass(frozen=True, slots=True)
+class Patch:
+    """A rectangular grid patch at one refinement level.
+
+    ``box`` lives in the *level's own* index space (i.e. already refined).
+    ``load_per_cell`` captures heterogeneous physics cost: the paper notes
+    that "the local physics may change significantly from zone to zone as
+    fronts move through the system", so cost per zone is not uniform.
+    """
+
+    box: Box
+    level: int
+    patch_id: int
+    load_per_cell: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError(f"level must be >= 0, got {self.level}")
+        if self.load_per_cell < 0:
+            raise ValueError(f"load_per_cell must be >= 0, got {self.load_per_cell}")
+
+    @property
+    def num_cells(self) -> int:
+        """Cells in the patch (level index space)."""
+        return self.box.num_cells
+
+    @property
+    def load(self) -> float:
+        """Total computational load of one solver sweep over the patch."""
+        return self.num_cells * self.load_per_cell
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "box": self.box.to_dict(),
+            "level": self.level,
+            "patch_id": self.patch_id,
+            "load_per_cell": self.load_per_cell,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Patch":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            box=Box.from_dict(d["box"]),
+            level=d["level"],
+            patch_id=d["patch_id"],
+            load_per_cell=d.get("load_per_cell", 1.0),
+        )
+
+
+@dataclass(slots=True)
+class Level:
+    """One refinement level: a set of non-overlapping patches.
+
+    ``ratio`` is the refinement ratio *from the next coarser level to this
+    one* (1 for the base level).  Patch boxes are expressed in this level's
+    index space.
+    """
+
+    index: int
+    ratio: int
+    patches: list[Patch] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"level index must be >= 0, got {self.index}")
+        if self.ratio < 1:
+            raise ValueError(f"refinement ratio must be >= 1, got {self.ratio}")
+        for p in self.patches:
+            if p.level != self.index:
+                raise ValueError(
+                    f"patch {p.patch_id} declares level {p.level}, "
+                    f"stored in level {self.index}"
+                )
+
+    def __iter__(self) -> Iterator[Patch]:
+        return iter(self.patches)
+
+    def __len__(self) -> int:
+        return len(self.patches)
+
+    @property
+    def num_cells(self) -> int:
+        """Total cells over all patches of the level."""
+        return sum(p.num_cells for p in self.patches)
+
+    @property
+    def load(self) -> float:
+        """Total single-sweep computational load of the level."""
+        return sum(p.load for p in self.patches)
+
+    def add(self, patch: Patch) -> None:
+        """Append a patch, enforcing level consistency and non-overlap."""
+        if patch.level != self.index:
+            raise ValueError(
+                f"patch level {patch.level} does not match level index {self.index}"
+            )
+        for existing in self.patches:
+            if existing.box.intersects(patch.box):
+                raise ValueError(
+                    f"patch {patch.patch_id} overlaps patch {existing.patch_id} "
+                    f"on level {self.index}"
+                )
+        self.patches.append(patch)
+
+    def covered_fraction_of(self, box: Box) -> float:
+        """Fraction of ``box`` (in this level's index space) covered by patches."""
+        if box.num_cells == 0:
+            return 0.0
+        covered = 0
+        for p in self.patches:
+            inter = p.box.intersection(box)
+            if inter is not None:
+                covered += inter.num_cells
+        return covered / box.num_cells
+
+    def bounding_box(self) -> Box | None:
+        """Smallest box containing every patch, or ``None`` if empty."""
+        if not self.patches:
+            return None
+        out = self.patches[0].box
+        for p in self.patches[1:]:
+            out = out.bounding_union(p.box)
+        return out
+
+    def centroid_spread(self) -> float:
+        """RMS distance of patch centroids from their mean, in base-grid cells.
+
+        Used by the octant classifier as the "scattered vs localized"
+        signal: scattered adaptation has patch centroids spread across the
+        domain, localized adaptation concentrates them.
+        """
+        if not self.patches:
+            return 0.0
+        pts = np.array([p.box.centroid for p in self.patches], dtype=float)
+        # Normalize to the base index space so levels are comparable.
+        scale = 1.0
+        if self.index > 0:
+            scale = 1.0  # boxes are already in level space; caller rescales.
+        center = pts.mean(axis=0)
+        return float(np.sqrt(((pts - center) ** 2).sum(axis=1).mean())) * scale
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "index": self.index,
+            "ratio": self.ratio,
+            "patches": [p.to_dict() for p in self.patches],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Level":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=d["index"],
+            ratio=d["ratio"],
+            patches=[Patch.from_dict(p) for p in d["patches"]],
+        )

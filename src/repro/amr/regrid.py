@@ -1,0 +1,188 @@
+"""Regridding: error field → flags → clusters → new grid hierarchy.
+
+The application drivers in :mod:`repro.apps` expose a scalar error field on
+the base grid each step; the :class:`Regridder` turns it into a properly
+nested hierarchy using nested thresholds (a cell whose error exceeds the
+``l``-th threshold is refined to at least level ``l``), dilation by a flag
+buffer, and Berger–Rigoutsos clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.clustering import cluster_flags
+from repro.amr.grid import Level, Patch
+from repro.amr.hierarchy import GridHierarchy
+
+__all__ = ["RegridPolicy", "Regridder"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegridPolicy:
+    """Knobs controlling regridding.
+
+    ``thresholds`` has one entry per refined level and must be strictly
+    increasing: nested thresholds guarantee nested flag sets, which is the
+    first half of the proper-nesting guarantee (the second half is the
+    clip-to-parent step in :meth:`Regridder.regrid`).
+    """
+
+    ratio: int = 2
+    thresholds: tuple[float, ...] = (0.2, 0.45, 0.7)
+    min_efficiency: float = 0.7
+    min_width: int = 2
+    buffer_cells: int = 1
+    regrid_interval: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ratio < 2:
+            raise ValueError(f"refinement ratio must be >= 2, got {self.ratio}")
+        if not self.thresholds:
+            raise ValueError("at least one refinement threshold is required")
+        if any(b <= a for a, b in zip(self.thresholds, self.thresholds[1:])):
+            raise ValueError(
+                f"thresholds must be strictly increasing, got {self.thresholds}"
+            )
+        if self.buffer_cells < 0:
+            raise ValueError(f"buffer_cells must be >= 0, got {self.buffer_cells}")
+        if self.regrid_interval < 1:
+            raise ValueError(f"regrid_interval must be >= 1, got {self.regrid_interval}")
+
+    @property
+    def max_refined_levels(self) -> int:
+        """Number of refined levels above the base."""
+        return len(self.thresholds)
+
+
+class Regridder:
+    """Builds grid hierarchies from base-grid error fields."""
+
+    def __init__(self, domain: Box, policy: RegridPolicy) -> None:
+        self.domain = domain
+        self.policy = policy
+        self._next_patch_id = 0
+
+    def regrid(
+        self,
+        error_field: np.ndarray,
+        load_field: np.ndarray | None = None,
+    ) -> GridHierarchy:
+        """Construct a hierarchy whose refinement tracks ``error_field``.
+
+        Parameters
+        ----------
+        error_field:
+            Float array over the base domain (shape == ``domain.shape``).
+        load_field:
+            Optional per-base-cell cost multiplier capturing heterogeneous
+            physics; a patch's ``load_per_cell`` is the mean of this field
+            over the patch footprint.  Defaults to uniform cost 1.
+
+        Returns
+        -------
+        GridHierarchy
+            Properly nested hierarchy with up to
+            ``policy.max_refined_levels`` refined levels.
+        """
+        error_field = np.asarray(error_field, dtype=float)
+        if error_field.shape != self.domain.shape:
+            raise ValueError(
+                f"error field shape {error_field.shape} does not match "
+                f"domain shape {self.domain.shape}"
+            )
+        if load_field is not None:
+            load_field = np.asarray(load_field, dtype=float)
+            if load_field.shape != self.domain.shape:
+                raise ValueError(
+                    f"load field shape {load_field.shape} does not match "
+                    f"domain shape {self.domain.shape}"
+                )
+
+        pol = self.policy
+        base = Level(index=0, ratio=1)
+        base.add(
+            Patch(
+                box=self.domain,
+                level=0,
+                patch_id=self._take_id(),
+                load_per_cell=self._mean_load(load_field, self.domain),
+            )
+        )
+        levels = [base]
+
+        parent_footprints = [self.domain]  # level-l patch boxes in base space
+        cum_ratio = 1
+        for li, tau in enumerate(pol.thresholds, start=1):
+            flags = error_field > tau
+            if pol.buffer_cells:
+                flags = _dilate(flags, pol.buffer_cells)
+            boxes = cluster_flags(
+                flags,
+                min_efficiency=pol.min_efficiency,
+                min_width=pol.min_width,
+                origin=self.domain.lo,
+            )
+            # Clip candidates to the parent level so nesting is guaranteed
+            # even when clustering padded a box beyond the parent footprint.
+            clipped: list[Box] = []
+            for b in boxes:
+                for pf in parent_footprints:
+                    inter = b.intersection(pf)
+                    if inter is not None:
+                        clipped.append(inter)
+            if not clipped:
+                break
+            cum_ratio *= pol.ratio
+            lvl = Level(index=li, ratio=pol.ratio)
+            for b in clipped:
+                lvl.add(
+                    Patch(
+                        box=b.refine(cum_ratio),
+                        level=li,
+                        patch_id=self._take_id(),
+                        load_per_cell=self._mean_load(load_field, b),
+                    )
+                )
+            levels.append(lvl)
+            parent_footprints = clipped
+
+        return GridHierarchy(domain=self.domain, levels=levels)
+
+    def _take_id(self) -> int:
+        pid = self._next_patch_id
+        self._next_patch_id += 1
+        return pid
+
+    def _mean_load(self, load_field: np.ndarray | None, base_box: Box) -> float:
+        if load_field is None:
+            return 1.0
+        region = load_field[base_box.slices(self.domain.lo)]
+        return float(region.mean()) if region.size else 1.0
+
+
+def _dilate(flags: np.ndarray, cells: int) -> np.ndarray:
+    """Binary dilation by a cube of radius ``cells`` using shifted ORs.
+
+    Implemented with numpy slicing (no scipy dependency in the hot path);
+    cost is O(cells * ndim * N).
+    """
+    out = flags.copy()
+    for axis in range(flags.ndim):
+        acc = out.copy()
+        for shift in range(1, cells + 1):
+            sl_fwd_dst = [slice(None)] * flags.ndim
+            sl_fwd_src = [slice(None)] * flags.ndim
+            sl_fwd_dst[axis] = slice(0, flags.shape[axis] - shift)
+            sl_fwd_src[axis] = slice(shift, flags.shape[axis])
+            acc[tuple(sl_fwd_dst)] |= out[tuple(sl_fwd_src)]
+            sl_bwd_dst = [slice(None)] * flags.ndim
+            sl_bwd_src = [slice(None)] * flags.ndim
+            sl_bwd_dst[axis] = slice(shift, flags.shape[axis])
+            sl_bwd_src[axis] = slice(0, flags.shape[axis] - shift)
+            acc[tuple(sl_bwd_dst)] |= out[tuple(sl_bwd_src)]
+        out = acc
+    return out

@@ -1,0 +1,62 @@
+"""Human-readable summaries of hierarchies and traces.
+
+Inspection helpers for interactive use: a per-level table for one
+hierarchy, and a phase overview for a whole adaptation trace.
+"""
+
+from __future__ import annotations
+
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.trace import AdaptationTrace
+
+__all__ = ["hierarchy_report", "trace_report"]
+
+
+def hierarchy_report(hierarchy: GridHierarchy) -> str:
+    """Per-level table: patches, cells, refined fraction, load share."""
+    total_load = hierarchy.load_per_coarse_step()
+    lines = [
+        f"GridHierarchy over {hierarchy.domain.shape} "
+        f"({hierarchy.num_levels} levels, {hierarchy.num_patches} patches, "
+        f"load {total_load:.4g}/coarse step)",
+        f"{'level':>6} {'ratio':>6} {'patches':>8} {'cells':>10} "
+        f"{'refined%':>9} {'load%':>7}",
+    ]
+    for lvl in hierarchy.levels:
+        cum = hierarchy.cumulative_ratio(lvl.index)
+        load = lvl.load * cum
+        refined = 100.0 * hierarchy.refined_fraction(lvl.index)
+        share = 100.0 * load / total_load if total_load else 0.0
+        lines.append(
+            f"{lvl.index:>6} {lvl.ratio:>6} {len(lvl):>8} "
+            f"{lvl.num_cells:>10} {refined:>9.2f} {share:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def trace_report(trace: AdaptationTrace, every: int = 10) -> str:
+    """Trace overview: load/patch-count series sampled every ``every``
+    snapshots, plus aggregate statistics."""
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    loads = trace.load_series()
+    patches = trace.patch_count_series()
+    lines = [
+        f"AdaptationTrace: {len(trace)} snapshots "
+        f"(steps {trace.steps()[0] if len(trace) else '-'}"
+        f"..{trace.steps()[-1] if len(trace) else '-'}), "
+        f"app={trace.meta.get('app', '?')}",
+    ]
+    if len(trace):
+        lines.append(
+            f"load: min {loads.min():.3g} / mean {loads.mean():.3g} / "
+            f"max {loads.max():.3g}; patches: min {patches.min()} / "
+            f"max {patches.max()}"
+        )
+        lines.append(f"{'snapshot':>9} {'step':>6} {'patches':>8} {'load':>12}")
+        for i in range(0, len(trace), every):
+            s = trace[i]
+            lines.append(
+                f"{i:>9} {s.step:>6} {s.num_patches:>8} {s.load:>12.4g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Synthetic adaptive applications.
+
+The paper's evaluation consumes *adaptation traces* of real solvers (RM3D,
+a Richtmyer–Meshkov 3-D compressible turbulence code).  We do not have the
+Fortran solvers; instead each driver here synthesizes the error fields such
+a solver would produce — moving shocks, growing mixing zones, collapsing
+clumps — and the shared :func:`generate_trace` harness turns them into
+SAMR adaptation traces through the regridder.  The partitioners and the
+execution simulator only ever see the trace, exactly as in the paper.
+"""
+
+from repro.apps.base import SyntheticApplication, generate_trace
+from repro.apps.rm3d import RM3D, RM3DConfig
+from repro.apps.galaxy import GalaxyFormation, GalaxyConfig
+from repro.apps.supernova import Supernova, SupernovaConfig
+from repro.apps.loadgen import SyntheticLoadGenerator, LoadPattern
+
+__all__ = [
+    "SyntheticApplication",
+    "generate_trace",
+    "RM3D",
+    "RM3DConfig",
+    "GalaxyFormation",
+    "GalaxyConfig",
+    "Supernova",
+    "SupernovaConfig",
+    "SyntheticLoadGenerator",
+    "LoadPattern",
+]

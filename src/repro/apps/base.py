@@ -1,0 +1,80 @@
+"""Common interface for synthetic adaptive applications."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.regrid import Regridder, RegridPolicy
+from repro.amr.trace import AdaptationTrace, Snapshot
+
+__all__ = ["SyntheticApplication", "generate_trace"]
+
+
+class SyntheticApplication(abc.ABC):
+    """A driver that emits per-step error and load fields on a base grid.
+
+    Subclasses model one class of physics (moving shock, gravitational
+    collapse, ...) well enough to reproduce the *refinement behavior* a
+    real solver would exhibit — which is the only thing the runtime
+    management layer observes.
+    """
+
+    #: base-grid domain of the application
+    domain: Box
+
+    @abc.abstractmethod
+    def error_field(self, step: int) -> np.ndarray:
+        """Normalized [0, 1] refinement-error field at coarse step ``step``."""
+
+    def load_field(self, step: int) -> np.ndarray | None:
+        """Optional per-base-cell cost multiplier (heterogeneous physics).
+
+        Default ``None`` means uniform unit cost per cell.
+        """
+        return None
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short application identifier used in traces and reports."""
+
+
+def generate_trace(
+    app: SyntheticApplication,
+    policy: RegridPolicy,
+    num_coarse_steps: int,
+    *,
+    progress: bool = False,
+) -> AdaptationTrace:
+    """Run ``app`` through the regridder and capture a full adaptation trace.
+
+    One snapshot is stored per regrid step (every ``policy.regrid_interval``
+    coarse steps, starting at step 0), reproducing the paper's trace
+    methodology ("snap-shots of the SAMR grid hierarchy at each regrid
+    step").
+    """
+    if num_coarse_steps < 1:
+        raise ValueError(f"num_coarse_steps must be >= 1, got {num_coarse_steps}")
+    regridder = Regridder(app.domain, policy)
+    trace = AdaptationTrace(
+        meta={
+            "app": app.name,
+            "domain": app.domain.to_dict(),
+            "ratio": policy.ratio,
+            "refined_levels": policy.max_refined_levels,
+            "regrid_interval": policy.regrid_interval,
+            "num_coarse_steps": num_coarse_steps,
+        }
+    )
+    for step in range(0, num_coarse_steps, policy.regrid_interval):
+        err = app.error_field(step)
+        load = app.load_field(step)
+        hierarchy = regridder.regrid(err, load)
+        trace.append(Snapshot(step=step, hierarchy=hierarchy))
+        if progress and (len(trace) % 25 == 0):  # pragma: no cover - cosmetic
+            print(f"[{app.name}] step {step}/{num_coarse_steps} "
+                  f"({len(trace)} snapshots)")
+    return trace

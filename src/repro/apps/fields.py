@@ -1,0 +1,90 @@
+"""Vectorized error-field primitives on the base grid.
+
+Every synthetic application composes its per-step error field from these
+building blocks.  All functions return float arrays of the given shape with
+values in [0, 1]; callers combine them with :func:`combine` (elementwise
+max, so overlapping features refine to the deepest requested level).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["grid_coords", "gaussian_blob", "planar_sheet", "slab", "combine"]
+
+
+def grid_coords(shape: Sequence[int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cell-center coordinate arrays (open meshgrid, broadcastable)."""
+    sx, sy, sz = shape
+    return np.ogrid[0.5 : sx : 1.0, 0.5 : sy : 1.0, 0.5 : sz : 1.0]
+
+
+def gaussian_blob(
+    shape: Sequence[int],
+    center: Sequence[float],
+    sigma: float | Sequence[float],
+    peak: float = 1.0,
+) -> np.ndarray:
+    """Anisotropic Gaussian bump centered at ``center``."""
+    if np.isscalar(sigma):
+        sigma = (float(sigma),) * 3
+    sig = tuple(float(s) for s in sigma)  # type: ignore[union-attr]
+    if any(s <= 0 for s in sig):
+        raise ValueError(f"sigma components must be positive, got {sigma!r}")
+    x, y, z = grid_coords(shape)
+    r2 = (
+        ((x - center[0]) / sig[0]) ** 2
+        + ((y - center[1]) / sig[1]) ** 2
+        + ((z - center[2]) / sig[2]) ** 2
+    )
+    return peak * np.exp(-0.5 * r2)
+
+
+def planar_sheet(
+    shape: Sequence[int],
+    position: float,
+    width: float,
+    axis: int = 0,
+    peak: float = 1.0,
+) -> np.ndarray:
+    """Thin planar feature (a shock front) normal to ``axis`` at ``position``.
+
+    Gaussian profile across the sheet; returns zeros when the sheet lies
+    entirely outside the domain.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    coords = grid_coords(shape)
+    d = coords[axis] - position
+    profile = peak * np.exp(-0.5 * (d / width) ** 2)
+    return np.broadcast_to(profile, shape).copy()
+
+
+def slab(
+    shape: Sequence[int],
+    lo: float,
+    hi: float,
+    axis: int = 0,
+    peak: float = 1.0,
+    edge: float = 1.0,
+) -> np.ndarray:
+    """Soft-edged slab ``lo <= coord <= hi`` along ``axis``."""
+    if hi <= lo:
+        raise ValueError(f"slab needs hi > lo, got [{lo}, {hi}]")
+    coords = grid_coords(shape)
+    c = coords[axis]
+    ramp_in = 1.0 / (1.0 + np.exp(-(c - lo) / max(edge, 1e-9)))
+    ramp_out = 1.0 / (1.0 + np.exp((c - hi) / max(edge, 1e-9)))
+    return np.broadcast_to(peak * ramp_in * ramp_out, shape).copy()
+
+
+def combine(*fields: np.ndarray) -> np.ndarray:
+    """Elementwise maximum of error fields, clipped to [0, 1]."""
+    if not fields:
+        raise ValueError("combine requires at least one field")
+    out = fields[0]
+    for f in fields[1:]:
+        out = np.maximum(out, f)
+    return np.clip(out, 0.0, 1.0)

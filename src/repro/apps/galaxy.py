@@ -1,0 +1,82 @@
+"""Galaxy-formation driver: hierarchical gravitational collapse.
+
+Section 2 motivates Pragma with galaxy formation: "objects of progressively
+larger mass merge and collapse to form new systems".  The driver seeds many
+small clumps that fall toward their common barycenter and merge pairwise,
+so adaptation starts *scattered* (many separate refined regions) and ends
+*localized* (one massive object), with dynamics decaying as mergers finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.apps import fields
+from repro.apps.base import SyntheticApplication
+from repro.util.rng import ensure_rng
+
+__all__ = ["GalaxyConfig", "GalaxyFormation"]
+
+
+@dataclass(frozen=True, slots=True)
+class GalaxyConfig:
+    """Parameters of the hierarchical-collapse driver."""
+
+    shape: tuple[int, int, int] = (64, 64, 64)
+    num_clumps: int = 16
+    collapse_steps: int = 400     # coarse steps until full merger
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if any(s < 8 for s in self.shape):
+            raise ValueError(f"shape extents must be >= 8, got {self.shape}")
+        if self.num_clumps < 2:
+            raise ValueError("need at least 2 clumps to merge")
+        if self.collapse_steps < 1:
+            raise ValueError("collapse_steps must be >= 1")
+
+
+class GalaxyFormation(SyntheticApplication):
+    """Scattered-to-localized hierarchical merger driver."""
+
+    def __init__(self, config: GalaxyConfig | None = None) -> None:
+        self.config = config or GalaxyConfig()
+        self.domain = Box.from_shape(self.config.shape)
+        rng = ensure_rng(self.config.seed)
+        cfg = self.config
+        ext = np.asarray(cfg.shape, dtype=float)
+        self._pos0 = rng.uniform(0.15, 0.85, (cfg.num_clumps, 3)) * ext
+        self._mass = rng.uniform(0.5, 1.5, cfg.num_clumps)
+        self._center = (self._pos0 * self._mass[:, None]).sum(0) / self._mass.sum()
+
+    @property
+    def name(self) -> str:
+        return "galaxy"
+
+    def _progress(self, step: int) -> float:
+        """Collapse progress in [0, 1]: quadratic free-fall-like approach."""
+        t = min(step / self.config.collapse_steps, 1.0)
+        return t * t * (3.0 - 2.0 * t)  # smoothstep
+
+    def error_field(self, step: int) -> np.ndarray:
+        """Clumps interpolate toward the barycenter and fatten as they merge."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        cfg = self.config
+        p = self._progress(step)
+        out = np.zeros(cfg.shape)
+        for i in range(cfg.num_clumps):
+            pos = (1.0 - p) * self._pos0[i] + p * self._center
+            sigma = 2.0 + 4.0 * p * self._mass[i]
+            peak = 0.6 + 0.35 * p
+            out = np.maximum(
+                out, fields.gaussian_blob(cfg.shape, pos, sigma, peak=peak)
+            )
+        return np.clip(out, 0.0, 1.0)
+
+    def load_field(self, step: int) -> np.ndarray:
+        """Collapsed regions run self-gravity solves: ~3x cost at the peak."""
+        return 1.0 + 2.0 * self.error_field(step)

@@ -1,0 +1,142 @@
+"""Synthetic background-load generator.
+
+Section 4.6: "The experimental setup consisted of a synthetic load
+generator (for simulating heterogeneous loads on the cluster nodes) and an
+external resource monitoring system."  This module is that load generator:
+it produces per-node background CPU utilization time series that the
+cluster simulator superimposes on application work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import ensure_rng, spawn_rng
+
+__all__ = ["LoadPattern", "SyntheticLoadGenerator"]
+
+
+class LoadPattern(enum.Enum):
+    """Background load shapes.
+
+    - ``UNIFORM``: every node idles (homogeneous baseline).
+    - ``STEPPED``: static heterogeneity — node *k* carries a fixed load
+      proportional to its index, the classic "half the cluster is busy"
+      scenario of Table 5.
+    - ``RANDOM_WALK``: mean-reverting (Ornstein–Uhlenbeck-like) load per
+      node around a node-specific level.
+    - ``BURSTY``: mostly idle with exponential-length load bursts, modeling
+      interactive users.
+    """
+
+    UNIFORM = "uniform"
+    STEPPED = "stepped"
+    RANDOM_WALK = "random_walk"
+    BURSTY = "bursty"
+
+
+@dataclass(slots=True)
+class SyntheticLoadGenerator:
+    """Generates background CPU-utilization fractions in [0, max_load].
+
+    The generator is deterministic given (seed, num_nodes, pattern): the
+    full series is synthesized lazily but reproducibly, so monitors that
+    sample at different rates observe consistent values.
+    """
+
+    num_nodes: int
+    pattern: LoadPattern = LoadPattern.STEPPED
+    max_load: float = 0.75
+    volatility: float = 0.05
+    seed: int = 42
+    _series: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _horizon: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if not (0.0 <= self.max_load < 1.0):
+            raise ValueError(f"max_load must be in [0, 1), got {self.max_load}")
+        if self.volatility < 0:
+            raise ValueError("volatility must be >= 0")
+
+    def load_at(self, node: int, t: float) -> float:
+        """Background CPU fraction consumed on ``node`` at time ``t``.
+
+        Time is continuous; the series is generated at unit resolution and
+        sampled with zero-order hold.
+        """
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        if t < 0:
+            raise ValueError(f"time must be >= 0, got {t}")
+        step = int(t)
+        self._ensure_horizon(step + 1)
+        return float(self._series[node][step])
+
+    def available_fraction(self, node: int, t: float) -> float:
+        """CPU fraction left for the application: ``1 - load``."""
+        return 1.0 - self.load_at(node, t)
+
+    def mean_available(self, node: int, t0: float, t1: float) -> float:
+        """Average available fraction over [t0, t1] (inclusive unit samples)."""
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1}]")
+        steps = range(int(t0), int(t1) + 1)
+        return float(
+            np.mean([self.available_fraction(node, float(s)) for s in steps])
+        )
+
+    # -- series synthesis ----------------------------------------------------------
+
+    def _ensure_horizon(self, horizon: int) -> None:
+        if horizon <= self._horizon and self._series:
+            return
+        horizon = max(horizon, 2 * self._horizon, 256)
+        rngs = spawn_rng(ensure_rng(self.seed), self.num_nodes)
+        for node in range(self.num_nodes):
+            self._series[node] = self._synthesize(node, horizon, rngs[node])
+        self._horizon = horizon
+
+    def _synthesize(
+        self, node: int, horizon: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.pattern is LoadPattern.UNIFORM:
+            return np.zeros(horizon)
+
+        if self.pattern is LoadPattern.STEPPED:
+            if self.num_nodes == 1:
+                level = 0.0
+            else:
+                level = self.max_load * node / (self.num_nodes - 1)
+            jitter = self.volatility * rng.standard_normal(horizon)
+            return np.clip(level + jitter, 0.0, 0.98)
+
+        if self.pattern is LoadPattern.RANDOM_WALK:
+            mean = rng.uniform(0.0, self.max_load)
+            theta = 0.05
+            x = np.empty(horizon)
+            x[0] = mean
+            noise = self.volatility * rng.standard_normal(horizon)
+            for i in range(1, horizon):
+                x[i] = x[i - 1] + theta * (mean - x[i - 1]) + noise[i]
+            return np.clip(x, 0.0, 0.98)
+
+        if self.pattern is LoadPattern.BURSTY:
+            x = np.zeros(horizon)
+            t = 0
+            while t < horizon:
+                idle = int(rng.exponential(40.0)) + 1
+                t += idle
+                if t >= horizon:
+                    break
+                burst = int(rng.exponential(20.0)) + 1
+                level = rng.uniform(0.3, self.max_load + 0.2)
+                x[t : t + burst] = min(level, 0.98)
+                t += burst
+            return x
+
+        raise ValueError(f"unknown pattern {self.pattern!r}")  # pragma: no cover

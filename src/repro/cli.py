@@ -1,0 +1,74 @@
+"""Command-line interface: ``python -m repro <experiment> [...]``.
+
+Runs any of the paper's reproduction experiments and prints the
+corresponding table or figure, e.g.::
+
+    python -m repro table2          # instant
+    python -m repro table1 table3   # several at once
+    python -m repro all             # everything (several minutes)
+
+The heavyweight experiments (table3/4/5, fig3) consume the reference RM3D
+trace, generated once (~30 s) and cached under ``.cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, common
+
+#: experiments that consume the reference RM3D trace
+_TRACE_EXPERIMENTS = {"table3", "table4", "table5", "fig3", "fig4"}
+
+
+def _run_one(name: str, trace) -> str:
+    module = EXPERIMENTS[name]
+    if name in _TRACE_EXPERIMENTS:
+        result = module.run(trace)
+    else:
+        result = module.run()
+    return module.render(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of the Pragma paper "
+        "(Parashar & Hariri, IPDPS 2002).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment(s) to run ('all' for everything)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the cached reference trace (default: .cache/)",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+    trace = None
+    if any(n in _TRACE_EXPERIMENTS for n in names):
+        print("loading reference RM3D trace (generated on first use) ...",
+              file=sys.stderr)
+        trace = common.rm3d_reference_trace(args.cache_dir)
+
+    for name in names:
+        t0 = time.perf_counter()
+        output = _run_one(name, trace)
+        elapsed = time.perf_counter() - t0
+        print(output)
+        print(f"[{name} took {elapsed:.1f}s]\n", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Pragma's core: adaptive application management.
+
+- :class:`CapacityCalculator` — Figure 4's capacity calculator: weighted
+  normalized CPU / memory / bandwidth per node → relative capacities.
+- :class:`MetaPartitioner` — the adaptive meta-partitioner of Section 4:
+  octant classification + policy query + partitioner selection at runtime.
+- :class:`SystemSensitivePipeline` — the system-sensitive partitioning
+  data flow of Section 4.6 (monitor → capacities → heterogeneous
+  partitioner).
+- :class:`PragmaRuntime` — the facade wiring monitoring, characterization,
+  policies, partitioners and the agent layer around an application run.
+"""
+
+from repro.core.capacity import CapacityCalculator, CapacityWeights
+from repro.core.meta_partitioner import MetaPartitioner
+from repro.core.system_sensitive import SystemSensitivePipeline
+from repro.core.pragma import PragmaRuntime, AdaptiveRunReport
+from repro.core.online import OnlineAdaptiveRuntime, OnlineRunReport
+from repro.core.predictive import PredictiveSelector, PredictedCost
+
+__all__ = [
+    "CapacityCalculator",
+    "CapacityWeights",
+    "MetaPartitioner",
+    "SystemSensitivePipeline",
+    "PragmaRuntime",
+    "AdaptiveRunReport",
+    "OnlineAdaptiveRuntime",
+    "OnlineRunReport",
+    "PredictiveSelector",
+    "PredictedCost",
+]

@@ -1,0 +1,104 @@
+"""The capacity calculator of Figure 4.
+
+Section 4.6: "The relative capacity C_k for the k-th grid-element is
+defined as the weighted sum of normalized values of the individual
+available CPU P_k, memory M_k, and link bandwidth B_k capacities returned
+by NWS.  Weights are application dependent and reflect its computational,
+memory, and communication requirements."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitoring.monitor import ResourceMonitor
+from repro.util.stats import normalize, weighted_sum
+
+__all__ = ["CapacityWeights", "CapacityCalculator"]
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityWeights:
+    """Application-dependent attribute weights (must sum to 1).
+
+    The default reflects an SAMR kernel: strongly compute-bound, with
+    communication mattering more than memory footprint.
+    """
+
+    cpu: float = 0.6
+    memory: float = 0.15
+    bandwidth: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("cpu", "memory", "bandwidth"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"weight {name} must be >= 0")
+        total = self.cpu + self.memory + self.bandwidth
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    def as_dict(self) -> dict[str, float]:
+        """Attribute name → weight."""
+        return {"cpu": self.cpu, "memory": self.memory, "bandwidth": self.bandwidth}
+
+
+class CapacityCalculator:
+    """Relative node capacities from monitored (or forecast) attributes."""
+
+    def __init__(
+        self,
+        monitor: ResourceMonitor,
+        weights: CapacityWeights | None = None,
+        *,
+        use_forecast: bool = False,
+        window: int = 16,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.monitor = monitor
+        self.weights = weights or CapacityWeights()
+        self.use_forecast = use_forecast
+        self.window = window
+
+    def relative_capacities(self) -> np.ndarray:
+        """C_k per node, normalized to sum to 1.
+
+        CPU availability is additionally scaled by the node's nominal
+        speed — a 50 %-loaded fast node can still beat an idle slow one.
+        With ``use_forecast=True`` the NWS-style one-step-ahead forecasts
+        substitute for the raw last measurements (proactive management).
+        """
+        if self.use_forecast:
+            cpu = self.monitor.forecast_vector("cpu")
+            mem = self.monitor.forecast_vector("memory")
+            bw = self.monitor.forecast_vector("bandwidth")
+        else:
+            # Average the trailing measurement window: a single NWS sample
+            # carries probe noise larger than the capacity differences the
+            # weighting must resolve.
+            n = self.monitor.cluster.num_nodes
+            cpu, mem, bw = (
+                np.array(
+                    [
+                        self.monitor.stream(node, attr)
+                        .values(window=self.window)
+                        .mean()
+                        for node in range(n)
+                    ]
+                )
+                for attr in ("cpu", "memory", "bandwidth")
+            )
+        cpu_power = np.clip(cpu, 0.0, 1.0) * self.monitor.cluster.speeds()
+        parts = {
+            "cpu": normalize(cpu_power),
+            "memory": normalize(np.maximum(mem, 0.0)),
+            "bandwidth": normalize(np.maximum(bw, 0.0)),
+        }
+        cap = weighted_sum(parts, self.weights.as_dict())
+        total = cap.sum()
+        if total <= 0:
+            # Every node looks dead; fall back to equal shares.
+            return np.full(len(cap), 1.0 / len(cap))
+        return cap / total

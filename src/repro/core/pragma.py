@@ -1,0 +1,128 @@
+"""The Pragma runtime facade.
+
+Wires the paper's four components around one application run:
+
+- system characterization: :class:`~repro.monitoring.ResourceMonitor`,
+- application characterization: the octant classifier inside
+  :class:`~repro.core.meta_partitioner.MetaPartitioner`,
+- policy base: :class:`~repro.policy.kb.PolicyKnowledgeBase`,
+- active control network: a CATALINA management environment monitoring the
+  simulated solver components.
+
+`PragmaRuntime.run_adaptive` is the one-call entry point used by the
+quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.regrid import RegridPolicy
+from repro.amr.trace import AdaptationTrace
+from repro.apps.base import SyntheticApplication, generate_trace
+from repro.core.capacity import CapacityCalculator, CapacityWeights
+from repro.core.meta_partitioner import MetaPartitioner
+from repro.execsim.costmodel import CostModel
+from repro.execsim.selector import StaticSelector
+from repro.execsim.simulator import ExecutionSimulator, RunResult
+from repro.gridsys.cluster import Cluster
+from repro.monitoring.monitor import ResourceMonitor
+from repro.partitioners import PARTITIONER_REGISTRY
+from repro.policy.kb import PolicyKnowledgeBase
+from repro.policy.octant import OctantThresholds
+
+__all__ = ["AdaptiveRunReport", "PragmaRuntime"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptiveRunReport:
+    """Outcome of an adaptive run plus its static comparisons."""
+
+    adaptive: RunResult
+    static: dict[str, RunResult]
+    octant_timeline: tuple[tuple[int, str, str], ...]
+
+    @property
+    def best_static_runtime(self) -> float:
+        """Fastest static partitioner's runtime."""
+        return min(r.total_runtime for r in self.static.values())
+
+    @property
+    def worst_static_runtime(self) -> float:
+        """Slowest static partitioner's runtime."""
+        return max(r.total_runtime for r in self.static.values())
+
+    @property
+    def improvement_over_worst_pct(self) -> float:
+        """Adaptive improvement over the slowest static scheme (Table 4's
+        headline: 27.2 % on 64 processors)."""
+        worst = self.worst_static_runtime
+        return 100.0 * (worst - self.adaptive.total_runtime) / worst
+
+
+@dataclass(slots=True)
+class PragmaRuntime:
+    """Adaptive runtime management for one application on one machine."""
+
+    cluster: Cluster
+    num_procs: int | None = None
+    kb: PolicyKnowledgeBase | None = None
+    thresholds: OctantThresholds = field(default_factory=OctantThresholds)
+    cost_model: CostModel | None = None
+    monitor: ResourceMonitor | None = None
+    capacity_weights: CapacityWeights = field(default_factory=CapacityWeights)
+
+    def characterize(
+        self,
+        app: SyntheticApplication,
+        policy: RegridPolicy,
+        num_coarse_steps: int,
+    ) -> AdaptationTrace:
+        """Application characterization: capture the adaptation trace."""
+        return generate_trace(app, policy, num_coarse_steps)
+
+    def meta_partitioner(self, hysteresis: int = 0) -> MetaPartitioner:
+        """A fresh meta-partitioner bound to this runtime's policy base."""
+        kwargs = {"thresholds": self.thresholds, "hysteresis": hysteresis}
+        if self.kb is not None:
+            kwargs["kb"] = self.kb
+        return MetaPartitioner(**kwargs)
+
+    def capacities(self, warmup: int = 32) -> np.ndarray:
+        """System characterization: relative node capacities."""
+        monitor = self.monitor or ResourceMonitor(self.cluster)
+        if self.monitor is None:
+            self.monitor = monitor
+        stream = monitor.stream(0, "cpu")
+        start = stream.last_time + 1.0 if len(stream) else 0.0
+        monitor.sample_range(start, start + warmup, 1.0)
+        calc = CapacityCalculator(monitor, self.capacity_weights)
+        return calc.relative_capacities()
+
+    def run_adaptive(
+        self,
+        trace: AdaptationTrace,
+        *,
+        hysteresis: int = 0,
+        compare_with: tuple[str, ...] = ("SFC", "G-MISP+SP", "pBD-ISP"),
+    ) -> AdaptiveRunReport:
+        """Run the meta-partitioner and the requested static baselines."""
+        sim = ExecutionSimulator(
+            self.cluster, num_procs=self.num_procs, cost_model=self.cost_model
+        )
+        meta = self.meta_partitioner(hysteresis=hysteresis)
+        adaptive = sim.run(trace, meta)
+        static: dict[str, RunResult] = {}
+        for name in compare_with:
+            if name not in PARTITIONER_REGISTRY:
+                raise ValueError(f"unknown partitioner {name!r}")
+            static[name] = sim.run(
+                trace, StaticSelector(PARTITIONER_REGISTRY[name]())
+            )
+        return AdaptiveRunReport(
+            adaptive=adaptive,
+            static=static,
+            octant_timeline=tuple(meta.selections),
+        )

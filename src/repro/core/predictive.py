@@ -1,0 +1,155 @@
+"""Predictive partitioner selection using performance functions.
+
+Research challenge 1 of the paper: "Formulation of predictive performance
+functions ... and use these functions along with current system/network
+state information to anticipate the operations and expected performance of
+applications for a given workload and system configuration."
+
+The Table 2 policy often recommends *several* partitioners per octant
+(e.g. octant IV: G-MISP+SP, SP-ISP, ISP).  The :class:`PredictiveSelector`
+breaks the tie with a performance function: it trial-partitions the
+current hierarchy with each recommended candidate, composes the predicted
+interval time — per-processor compute over (forecast) effective speeds,
+ghost communication, amortized repartitioning cost — and picks the
+minimum.  This is proactive management: decisions use the *forecast*
+system state, not just the current one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.trace import Snapshot
+from repro.execsim.costmodel import CostModel
+from repro.execsim.selector import PartitionerSelector, SelectorDecision
+from repro.execsim.simulator import per_step_comm_times
+from repro.gridsys.cluster import Cluster
+from repro.monitoring.monitor import ResourceMonitor
+from repro.partitioners import PARTITIONER_REGISTRY
+from repro.partitioners.base import Partition, Partitioner
+from repro.policy.defaults import default_policy_base
+from repro.policy.kb import PolicyKnowledgeBase
+from repro.policy.octant import OctantThresholds, classify_hierarchy
+
+__all__ = ["PredictedCost", "PredictiveSelector"]
+
+
+@dataclass(frozen=True, slots=True)
+class PredictedCost:
+    """Predicted interval cost of one candidate partitioner."""
+
+    partitioner: str
+    compute: float
+    comm: float
+    regrid: float
+
+    @property
+    def total(self) -> float:
+        """Predicted seconds for the regrid interval."""
+        return self.compute + self.comm + self.regrid
+
+
+@dataclass(slots=True)
+class PredictiveSelector(PartitionerSelector):
+    """Octant policy + performance-function tie-breaking."""
+
+    cluster: Cluster
+    num_procs: int
+    kb: PolicyKnowledgeBase = field(default_factory=default_policy_base)
+    thresholds: OctantThresholds = field(default_factory=OctantThresholds)
+    cost: CostModel = field(default_factory=CostModel)
+    monitor: ResourceMonitor | None = None
+    regrid_interval: int = 4
+    _instances: dict[str, Partitioner] = field(default_factory=dict, repr=False)
+    predictions: list[tuple[int, dict[str, float]]] = field(default_factory=list)
+
+    def decide(
+        self, snapshot: Snapshot, previous: Snapshot | None
+    ) -> SelectorDecision:
+        octant, _ = classify_hierarchy(
+            snapshot.hierarchy,
+            previous.hierarchy if previous is not None else None,
+            self.thresholds,
+        )
+        action = self.kb.merged_action({"octant": octant})
+        candidates = tuple(action.get("partitioners", ()))
+        if not candidates:
+            raise LookupError(
+                f"no partitioner candidates for octant {octant.value}"
+            )
+        granularity = int(action.get("granularity", 2))
+        if len(candidates) == 1:
+            return SelectorDecision(
+                partitioner=self._instance(candidates[0]),
+                granularity=granularity,
+                label=candidates[0],
+                octant=octant.value,
+            )
+
+        from repro.partitioners.units import build_units
+
+        units = build_units(snapshot.hierarchy, granularity=granularity)
+        speeds = self._effective_speeds()
+        costs = {
+            name: self.predict_cost(
+                self._instance(name).partition(units, self.num_procs),
+                speeds,
+            )
+            for name in candidates
+        }
+        best = min(costs, key=lambda n: costs[n].total)
+        self.predictions.append(
+            (snapshot.step, {n: c.total for n, c in costs.items()})
+        )
+        return SelectorDecision(
+            partitioner=self._instance(best),
+            granularity=granularity,
+            label=best,
+            octant=octant.value,
+        )
+
+    def predict_cost(
+        self, partition: Partition, speeds: np.ndarray
+    ) -> PredictedCost:
+        """Compose the predicted interval cost of a trial partition."""
+        comm_per_step, _ = per_step_comm_times(
+            partition, self.cost, self.cluster.link.bandwidth
+        )
+        comp = partition.proc_loads() / np.maximum(speeds, 1e-9)
+        exposed = comp + (1.0 - self.cost.comm_overlap) * comm_per_step
+        step_total = float(
+            max(exposed.max(), comm_per_step.max(initial=0.0))
+        )
+        comp_share = float(comp.max())
+        comm_share = max(step_total - comp_share, 0.0)
+        regrid = (
+            partition.partition_time
+            + partition.rect_fragments() * self.cost.seconds_per_fragment
+        )
+        return PredictedCost(
+            partitioner=partition.partitioner_name,
+            compute=comp_share * self.regrid_interval,
+            comm=comm_share * self.regrid_interval,
+            regrid=regrid,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _instance(self, name: str) -> Partitioner:
+        if name not in PARTITIONER_REGISTRY:
+            raise LookupError(f"unknown partitioner {name!r}")
+        if name not in self._instances:
+            self._instances[name] = PARTITIONER_REGISTRY[name]()
+        return self._instances[name]
+
+    def _effective_speeds(self) -> np.ndarray:
+        """Forecast per-processor speeds (proactive) or nominal speeds."""
+        speeds = self.cluster.speeds()[: self.num_procs]
+        if self.monitor is not None:
+            cpu = np.clip(
+                self.monitor.forecast_vector("cpu")[: self.num_procs], 0.0, 1.0
+            )
+            return speeds * cpu
+        return speeds

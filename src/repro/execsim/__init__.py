@@ -1,0 +1,34 @@
+"""Discrete execution simulation of partitioned SAMR runs.
+
+Replays an adaptation trace against a simulated cluster under a
+partitioning strategy and integrates the cost of every coarse time step —
+computation (per-processor load over effective speed), ghost-cell
+communication (cut-surface volume over link bandwidth plus per-neighbor
+latency), and per-regrid costs (partitioning time, data migration,
+fragmentation overhead).  This is the instrument that regenerates the
+paper's Table 4 and Table 5.
+"""
+
+from repro.execsim.costmodel import CostModel
+from repro.execsim.selector import (
+    PartitionerSelector,
+    StaticSelector,
+    SelectorDecision,
+)
+from repro.execsim.simulator import (
+    ExecutionSimulator,
+    RunResult,
+    StepRecord,
+    per_step_comm_times,
+)
+
+__all__ = [
+    "CostModel",
+    "PartitionerSelector",
+    "StaticSelector",
+    "SelectorDecision",
+    "ExecutionSimulator",
+    "RunResult",
+    "StepRecord",
+    "per_step_comm_times",
+]

@@ -1,0 +1,57 @@
+"""Cost model of a partitioned SAMR step on a simulated machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Constants translating partition geometry into seconds.
+
+    All volumes are in composite-load units (one unit = one cell update of
+    one solver sweep); the load-density weighting inside the communication
+    metric already accounts for refinement depth.
+    """
+
+    #: bytes exchanged per unit of cut-surface communication volume
+    bytes_per_comm_unit: float = 10.0
+    #: ghost layers exchanged per solver sweep
+    ghost_width: float = 2.0
+    #: per-neighbor message latency charged per coarse step (seconds)
+    #: (subsumes the per-sweep small messages of subcycled levels)
+    latency_per_neighbor: float = 1.2e-3
+    #: bytes moved per unit of migrated load at a repartition
+    bytes_per_migrated_load: float = 4.0
+    #: seconds of bookkeeping per ownership fragment at a repartition
+    seconds_per_fragment: float = 2.0e-4
+    #: seconds per patch reshuffled by a full-redistribution (patch-based)
+    #: partitioner at each regrid
+    seconds_per_patch_shuffle: float = 1.0e-3
+    #: intra-hierarchy redundant updates as a fraction of useful work
+    #: (clustering padding + patch-boundary ghosts; AMR-efficiency term)
+    intra_ghost_factor: float = 0.0105
+    #: fraction of ghost communication hidden under computation.  0 models
+    #: fully synchronous exchange; the paper's "latency-tolerant
+    #: communication" mechanism (a Section 3.5 policy, used by the RM3D
+    #: kernel on the workstation cluster) overlaps most of it.
+    comm_overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.comm_overlap <= 1.0):
+            raise ValueError(
+                f"comm_overlap must be in [0, 1], got {self.comm_overlap}"
+            )
+        for name in (
+            "bytes_per_comm_unit",
+            "ghost_width",
+            "latency_per_neighbor",
+            "bytes_per_migrated_load",
+            "seconds_per_fragment",
+            "seconds_per_patch_shuffle",
+            "intra_ghost_factor",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")

@@ -1,0 +1,58 @@
+"""Partitioner selection strategies for the execution simulator.
+
+The simulator asks its selector for a decision at every regrid step; a
+:class:`StaticSelector` always answers the same (the paper's static
+baselines), while :class:`repro.core.meta_partitioner.MetaPartitioner`
+implements the adaptive policy-driven choice.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.amr.trace import Snapshot
+from repro.partitioners.base import Partitioner
+
+__all__ = ["SelectorDecision", "PartitionerSelector", "StaticSelector"]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectorDecision:
+    """What to partition with at one regrid step."""
+
+    partitioner: Partitioner
+    granularity: int = 2
+    label: str = ""
+    octant: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {self.granularity}")
+
+
+class PartitionerSelector(abc.ABC):
+    """Chooses the partitioner (and its configuration) per regrid step."""
+
+    @abc.abstractmethod
+    def decide(
+        self, snapshot: Snapshot, previous: Snapshot | None
+    ) -> SelectorDecision:
+        """Decision for the hierarchy captured in ``snapshot``."""
+
+
+class StaticSelector(PartitionerSelector):
+    """Always uses the same partitioner and granularity."""
+
+    def __init__(self, partitioner: Partitioner, granularity: int = 2) -> None:
+        self.partitioner = partitioner
+        self.granularity = granularity
+
+    def decide(
+        self, snapshot: Snapshot, previous: Snapshot | None
+    ) -> SelectorDecision:
+        return SelectorDecision(
+            partitioner=self.partitioner,
+            granularity=self.granularity,
+            label=self.partitioner.name,
+        )

@@ -1,0 +1,38 @@
+"""Shared experiment infrastructure: the reference RM3D trace."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.amr.regrid import RegridPolicy
+from repro.amr.trace import AdaptationTrace
+from repro.apps import RM3D, generate_trace
+
+__all__ = ["NUM_COARSE_STEPS", "reference_policy", "rm3d_reference_trace"]
+
+#: the paper's run length: 800 coarse steps (+2 regrids) -> 202 snapshots
+NUM_COARSE_STEPS = 808
+
+
+def reference_policy() -> RegridPolicy:
+    """The paper's RM3D regrid configuration: factor-2 refinement on a
+    128x32x32 base grid, regridding every 4 steps, 3 refined levels."""
+    return RegridPolicy(ratio=2, thresholds=(0.2, 0.45, 0.7),
+                        regrid_interval=4)
+
+
+def rm3d_reference_trace(cache_dir: str | Path | None = None) -> AdaptationTrace:
+    """The reference RM3D adaptation trace, cached under ``cache_dir``.
+
+    Defaults to ``<repo>/.cache``; generation takes ~30 s on first use.
+    """
+    if cache_dir is None:
+        cache_dir = Path(__file__).resolve().parents[3] / ".cache"
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(exist_ok=True)
+    path = cache_dir / "rm3d_reference_trace.json.gz"
+    if path.exists():
+        return AdaptationTrace.load(path)
+    trace = generate_trace(RM3D(), reference_policy(), NUM_COARSE_STEPS)
+    trace.save(path)
+    return trace

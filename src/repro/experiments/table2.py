@@ -1,0 +1,37 @@
+"""Table 2 — Octant → partitioning-scheme recommendations."""
+
+from __future__ import annotations
+
+from repro.policy import Octant, default_policy_base
+
+__all__ = ["PAPER", "run", "render"]
+
+PAPER = {
+    "I": ("pBD-ISP", "G-MISP+SP"),
+    "II": ("pBD-ISP",),
+    "III": ("G-MISP+SP", "SP-ISP"),
+    "IV": ("G-MISP+SP", "SP-ISP", "ISP"),
+    "V": ("pBD-ISP",),
+    "VI": ("pBD-ISP",),
+    "VII": ("G-MISP+SP",),
+    "VIII": ("G-MISP+SP", "ISP"),
+}
+
+
+def run() -> dict[Octant, dict]:
+    """Query the default policy base for every octant."""
+    kb = default_policy_base()
+    return {octant: kb.merged_action({"octant": octant}) for octant in Octant}
+
+
+def render(actions: dict[Octant, dict]) -> str:
+    """Format the Table 2 comparison (ours vs paper) as text."""
+    lines = [
+        "Table 2 — Octant -> partitioning scheme recommendations",
+        f"{'octant':>7}  {'schemes (ours)':<28} {'schemes (paper)':<28}",
+    ]
+    for octant in Octant:
+        ours = ", ".join(actions[octant]["partitioners"])
+        paper = ", ".join(PAPER[octant.value])
+        lines.append(f"{octant.value:>7}  {ours:<28} {paper:<28}")
+    return "\n".join(lines)

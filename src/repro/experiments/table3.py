@@ -1,0 +1,66 @@
+"""Table 3 — Characterizing RM3D application run-time state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amr.trace import AdaptationTrace
+from repro.core import MetaPartitioner
+from repro.policy import Octant, classify_trace
+
+__all__ = ["PAPER", "Table3Row", "run", "render"]
+
+#: snapshot index -> (octant, selected partitioner)
+PAPER = {
+    0: ("IV", "G-MISP+SP"),
+    5: ("VII", "G-MISP+SP"),
+    25: ("I", "pBD-ISP"),
+    106: ("VI", "pBD-ISP"),
+    137: ("VIII", "G-MISP+SP"),
+    162: ("II", "pBD-ISP"),
+    174: ("V", "pBD-ISP"),
+    201: ("III", "G-MISP+SP"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Table3Row:
+    """Classification + selection for one snapshot."""
+
+    index: int
+    octant: Octant
+    partitioner: str
+
+
+def run(trace: AdaptationTrace) -> list[Table3Row]:
+    """Classify every snapshot; select partitioners through Table 2."""
+    states = classify_trace(trace)
+    meta = MetaPartitioner()
+    return [
+        Table3Row(
+            index=idx,
+            octant=state.octant,
+            partitioner=meta.decide_for_octant(state.octant).label,
+        )
+        for idx, state in enumerate(states)
+    ]
+
+
+def render(rows: list[Table3Row]) -> str:
+    """Format the sampled-snapshot comparison against the paper."""
+    lines = [
+        "Table 3 — RM3D run-time state characterization",
+        f"{'snapshot':>9} {'octant':>7} {'partitioner':>12} "
+        f"{'paper octant':>13} {'paper partitioner':>18}",
+    ]
+    matches = 0
+    for idx, (p_oct, p_part) in sorted(PAPER.items()):
+        row = rows[idx]
+        ok = row.octant.value == p_oct and row.partitioner == p_part
+        matches += ok
+        lines.append(
+            f"{idx:>9} {row.octant.value:>7} {row.partitioner:>12} "
+            f"{p_oct:>13} {p_part:>18}  {'ok' if ok else 'MISS'}"
+        )
+    lines.append(f"agreement: {matches}/{len(PAPER)} sampled snapshots")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Table 4 — Partitioner performance for RM3D on 64 processors."""
+
+from __future__ import annotations
+
+from repro.amr.trace import AdaptationTrace
+from repro.core import PragmaRuntime
+from repro.core.pragma import AdaptiveRunReport
+from repro.gridsys import sp2_blue_horizon
+
+__all__ = ["PAPER", "PAPER_IMPROVEMENT_PCT", "run", "render"]
+
+#: partitioner -> (runtime s, max load imbalance %, AMR efficiency %)
+PAPER = {
+    "SFC": (484.502, 24.878, 98.8207),
+    "G-MISP+SP": (405.062, 11.3178, 98.7778),
+    "pBD-ISP": (414.952, 35.0317, 98.8582),
+    "adaptive": (352.824, 8.11825, 98.7633),
+}
+
+PAPER_IMPROVEMENT_PCT = 27.2
+
+
+def run(trace: AdaptationTrace, num_procs: int = 64) -> AdaptiveRunReport:
+    """Replay the trace under the meta-partitioner and the static baselines."""
+    runtime = PragmaRuntime(
+        cluster=sp2_blue_horizon(num_procs), num_procs=num_procs
+    )
+    return runtime.run_adaptive(
+        trace, compare_with=("SFC", "G-MISP+SP", "pBD-ISP")
+    )
+
+
+def render(report: AdaptiveRunReport) -> str:
+    """Format the Table 4 comparison (ours vs paper) as text."""
+    results = {"adaptive": report.adaptive, **report.static}
+    lines = [
+        "Table 4 — Partitioner performance, RM3D on 64 processors",
+        f"{'partitioner':>12} {'runtime(s)':>11} {'imbalance(%)':>13} "
+        f"{'efficiency(%)':>14}   paper: rt / imb / eff",
+    ]
+    for name in ("SFC", "G-MISP+SP", "pBD-ISP", "adaptive"):
+        r = results[name]
+        p = PAPER[name]
+        lines.append(
+            f"{name:>12} {r.total_runtime:>11.1f} "
+            f"{r.mean_imbalance_pct:>13.1f} {r.amr_efficiency_pct:>14.2f}"
+            f"   {p[0]:.1f} / {p[1]:.1f} / {p[2]:.2f}"
+        )
+    lines.append(
+        f"adaptive improvement over slowest: "
+        f"{report.improvement_over_worst_pct:.1f}% "
+        f"(paper: {PAPER_IMPROVEMENT_PCT}%)"
+    )
+    lines.append(
+        f"adaptive partitioner usage: {report.adaptive.partitioner_usage()}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Simulated computational grid: nodes, links, clusters, dynamics, failures.
+
+The paper's experiments ran on two real machines — the NPACI IBM SP2 "Blue
+Horizon" and a 32-node Linux cluster on switched fast Ethernet.  This
+package simulates such machines: per-node compute rates and memory, a
+network cost model, stochastic background load (driving heterogeneity),
+and failure injection for the agent layer's fault-management paths.
+"""
+
+from repro.gridsys.node import Node
+from repro.gridsys.link import Link
+from repro.gridsys.cluster import Cluster, sp2_blue_horizon, linux_cluster
+from repro.gridsys.failures import FailureEvent, FailureSchedule
+
+__all__ = [
+    "Node",
+    "Link",
+    "Cluster",
+    "sp2_blue_horizon",
+    "linux_cluster",
+    "FailureEvent",
+    "FailureSchedule",
+]

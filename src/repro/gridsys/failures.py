@@ -1,0 +1,84 @@
+"""Failure injection for the simulated grid.
+
+The paper lists "respond to system failures" among the control network's
+responsibilities; the agent layer's fault paths (suspend / checkpoint /
+migrate) are exercised against schedules from this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["FailureEvent", "FailureSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One node outage: down during ``[t_fail, t_recover)``.
+
+    ``t_recover`` may be ``inf`` for a permanent failure.
+    """
+
+    node_id: int
+    t_fail: float
+    t_recover: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.t_fail < 0:
+            raise ValueError(f"t_fail must be >= 0, got {self.t_fail}")
+        if self.t_recover <= self.t_fail:
+            raise ValueError(
+                f"t_recover ({self.t_recover}) must exceed t_fail ({self.t_fail})"
+            )
+
+    def is_down(self, t: float) -> bool:
+        """True while the node is failed at time ``t``."""
+        return self.t_fail <= t < self.t_recover
+
+
+@dataclass(slots=True)
+class FailureSchedule:
+    """A set of failure events queryable by (node, time)."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def add(self, event: FailureEvent) -> None:
+        """Register a failure event."""
+        self.events.append(event)
+
+    def is_alive(self, node_id: int, t: float) -> bool:
+        """True unless some event has ``node_id`` down at ``t``."""
+        return not any(e.node_id == node_id and e.is_down(t) for e in self.events)
+
+    def failures_in(self, t0: float, t1: float) -> list[FailureEvent]:
+        """Events whose failure time falls in ``[t0, t1)``."""
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1})")
+        return [e for e in self.events if t0 <= e.t_fail < t1]
+
+    @classmethod
+    def poisson(
+        cls,
+        num_nodes: int,
+        horizon: float,
+        mtbf: float,
+        mttr: float,
+        seed: int | None = 0,
+    ) -> "FailureSchedule":
+        """Random schedule: per-node Poisson failures, exponential repairs."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        rng = ensure_rng(seed)
+        sched = cls()
+        for node in range(num_nodes):
+            t = float(rng.exponential(mtbf))
+            while t < horizon:
+                repair = float(rng.exponential(mttr))
+                sched.add(FailureEvent(node, t, t + repair))
+                t += repair + float(rng.exponential(mtbf))
+        return sched

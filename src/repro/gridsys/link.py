@@ -1,0 +1,34 @@
+"""Network links of the simulated grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """Point-to-point (or switched shared) link with a latency/bandwidth model.
+
+    Transfer time for ``n`` bytes is ``latency + n / bandwidth`` — the
+    standard Hockney model, which is also the functional family the
+    performance-function module fits (Section 3.2's switch PF).
+    """
+
+    latency: float = 1.0e-4          # seconds
+    bandwidth: float = 12.5e6        # bytes/second (100 Mb/s fast Ethernet)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over the link."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth

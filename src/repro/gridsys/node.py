@@ -1,0 +1,30 @@
+"""Compute nodes of the simulated grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Node"]
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """One processing element.
+
+    ``cpu_speed`` is in work units per second (a work unit is one cell
+    update of the SAMR solver); ``memory`` is in cells of storable state.
+    Both are relative capacities — the paper's capacity calculator only
+    ever uses normalized values.
+    """
+
+    node_id: int
+    cpu_speed: float = 1.0e6
+    memory: float = 4.0e6
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.cpu_speed <= 0:
+            raise ValueError(f"cpu_speed must be positive, got {self.cpu_speed}")
+        if self.memory <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory}")

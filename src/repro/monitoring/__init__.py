@@ -1,0 +1,51 @@
+"""System characterization: NWS-style monitoring and forecasting.
+
+Section 3.1: "The Pragma system characterization component builds on
+existing infrastructure, such as NWS".  The Network Weather Service keeps
+time series of resource measurements (CPU availability, memory, link
+bandwidth) and forecasts each series with a *dynamic ensemble*: many simple
+predictors run in parallel and the one with the lowest accumulated postcast
+error supplies the forecast.  This package reimplements that design over
+the simulated cluster.
+"""
+
+from repro.monitoring.streams import MeasurementStream
+from repro.monitoring.forecasting import (
+    Predictor,
+    LastValue,
+    RunningMean,
+    SlidingWindowMean,
+    SlidingMedian,
+    ExponentialSmoothing,
+    AdaptiveMean,
+    AutoRegressive,
+    ForecasterEnsemble,
+    default_ensemble,
+)
+from repro.monitoring.sensors import (
+    SystemSensor,
+    CpuAvailabilitySensor,
+    MemorySensor,
+    BandwidthSensor,
+)
+from repro.monitoring.monitor import ResourceMonitor, NodeState
+
+__all__ = [
+    "MeasurementStream",
+    "Predictor",
+    "LastValue",
+    "RunningMean",
+    "SlidingWindowMean",
+    "SlidingMedian",
+    "ExponentialSmoothing",
+    "AdaptiveMean",
+    "AutoRegressive",
+    "ForecasterEnsemble",
+    "default_ensemble",
+    "SystemSensor",
+    "CpuAvailabilitySensor",
+    "MemorySensor",
+    "BandwidthSensor",
+    "ResourceMonitor",
+    "NodeState",
+]

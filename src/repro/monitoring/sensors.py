@@ -1,0 +1,108 @@
+"""System-level sensors sampling the simulated cluster.
+
+Each sensor observes one attribute of one node (or link) with optional
+multiplicative measurement noise — real NWS sensors are intrusive probes,
+not oracle reads.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.gridsys.cluster import Cluster
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "SystemSensor",
+    "CpuAvailabilitySensor",
+    "MemorySensor",
+    "BandwidthSensor",
+]
+
+
+class SystemSensor(abc.ABC):
+    """A probe measuring one scalar attribute of the environment."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        noise: float = 0.02,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if not (0 <= node_id < cluster.num_nodes):
+            raise ValueError(
+                f"node {node_id} out of range [0, {cluster.num_nodes})"
+            )
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.cluster = cluster
+        self.node_id = node_id
+        self.noise = noise
+        self._rng = ensure_rng(seed)
+
+    @property
+    @abc.abstractmethod
+    def attribute(self) -> str:
+        """Attribute name ('cpu', 'memory', 'bandwidth')."""
+
+    @abc.abstractmethod
+    def _true_value(self, t: float) -> float:
+        """Noise-free attribute value at time ``t``."""
+
+    def measure(self, t: float) -> float:
+        """Noisy measurement at time ``t`` (clipped to be non-negative)."""
+        v = self._true_value(t)
+        if self.noise:
+            v *= 1.0 + self.noise * float(self._rng.standard_normal())
+        return max(v, 0.0)
+
+
+class CpuAvailabilitySensor(SystemSensor):
+    """Fraction of the node's CPU available to the application, in [0, 1]."""
+
+    @property
+    def attribute(self) -> str:
+        return "cpu"
+
+    def _true_value(self, t: float) -> float:
+        if not self.cluster.failures.is_alive(self.node_id, t):
+            return 0.0
+        return 1.0 - self.cluster.background_load(self.node_id, t)
+
+    def measure(self, t: float) -> float:
+        return min(super().measure(t), 1.0)
+
+
+class MemorySensor(SystemSensor):
+    """Available memory on the node (static capacity in this simulator)."""
+
+    @property
+    def attribute(self) -> str:
+        return "memory"
+
+    def _true_value(self, t: float) -> float:
+        if not self.cluster.failures.is_alive(self.node_id, t):
+            return 0.0
+        return self.cluster.nodes[self.node_id].memory
+
+
+class BandwidthSensor(SystemSensor):
+    """Observed link bandwidth from this node into the switch fabric.
+
+    Background CPU load degrades achievable bandwidth slightly (the TCP
+    stack competes for cycles), which gives the capacity calculator a
+    genuinely time-varying third input.
+    """
+
+    @property
+    def attribute(self) -> str:
+        return "bandwidth"
+
+    def _true_value(self, t: float) -> float:
+        if not self.cluster.failures.is_alive(self.node_id, t):
+            return 0.0
+        degradation = 1.0 - 0.3 * self.cluster.background_load(self.node_id, t)
+        return self.cluster.link.bandwidth * degradation

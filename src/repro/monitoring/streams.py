@@ -1,0 +1,68 @@
+"""Timestamped measurement streams with bounded history."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MeasurementStream"]
+
+
+@dataclass(slots=True)
+class MeasurementStream:
+    """Append-only time series of (time, value) with a bounded window.
+
+    Timestamps must be strictly increasing, matching a periodic sensor.
+    """
+
+    name: str
+    capacity: int = 512
+    _times: deque = field(default_factory=deque, repr=False)
+    _values: deque = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._times = deque(maxlen=self.capacity)
+        self._values = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def append(self, t: float, value: float) -> None:
+        """Record a measurement; time must advance strictly."""
+        if self._times and t <= self._times[-1]:
+            raise ValueError(
+                f"stream {self.name!r}: time {t} not after {self._times[-1]}"
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    @property
+    def last(self) -> float:
+        """Most recent value."""
+        if not self._values:
+            raise ValueError(f"stream {self.name!r} is empty")
+        return self._values[-1]
+
+    @property
+    def last_time(self) -> float:
+        """Most recent timestamp."""
+        if not self._times:
+            raise ValueError(f"stream {self.name!r} is empty")
+        return self._times[-1]
+
+    def values(self, window: int | None = None) -> np.ndarray:
+        """Values as an array, optionally only the trailing ``window``."""
+        vals = np.fromiter(self._values, dtype=float, count=len(self._values))
+        if window is not None:
+            if window < 1:
+                raise ValueError(f"window must be >= 1, got {window}")
+            vals = vals[-window:]
+        return vals
+
+    def times(self) -> np.ndarray:
+        """All retained timestamps."""
+        return np.fromiter(self._times, dtype=float, count=len(self._times))

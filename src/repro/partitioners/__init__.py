@@ -1,0 +1,66 @@
+"""The SAMR partitioner suite of Section 4.4.
+
+Patch- and domain-based partitioners over composite grids:
+
+- :class:`SFCPartitioner` — patch-based space-filling-curve partitioner,
+- :class:`ISPPartitioner` — pure inverse space-filling-curve (domain based),
+- :class:`GMISPPartitioner` — variable-grain geometric multilevel ISP,
+- :class:`GMISPSPPartitioner` — G-MISP with exact sequence partitioning,
+- :class:`PBDISPPartitioner` — p-way binary dissection + ISP,
+- :class:`SPISPPartitioner` — pure sequence partitioning at cell grain,
+- :class:`HeterogeneousPartitioner` — capacity-weighted (Figure 4),
+- :class:`EqualPartitioner` — the default equal-distribution baseline.
+
+All partitioners share one interface (:class:`Partitioner`) over
+:class:`CompositeUnits`, and every partition is scored with the paper's
+five-component PAC quality metric (:class:`PACMetrics`).
+"""
+
+from repro.partitioners.units import CompositeUnits, build_units
+from repro.partitioners.base import Partition, Partitioner, PartitionError
+from repro.partitioners.metrics import PACMetrics, evaluate_partition
+from repro.partitioners.sequence import (
+    greedy_sequence_partition,
+    optimal_sequence_partition,
+    weighted_sequence_partition,
+    segment_loads,
+)
+from repro.partitioners.sfc import SFCPartitioner
+from repro.partitioners.isp import ISPPartitioner
+from repro.partitioners.gmisp import GMISPPartitioner, GMISPSPPartitioner
+from repro.partitioners.pbd_isp import PBDISPPartitioner
+from repro.partitioners.sp_isp import SPISPPartitioner
+from repro.partitioners.hetero import HeterogeneousPartitioner, EqualPartitioner
+
+#: Registry of the paper's partitioner names → classes.
+PARTITIONER_REGISTRY = {
+    "SFC": SFCPartitioner,
+    "ISP": ISPPartitioner,
+    "G-MISP": GMISPPartitioner,
+    "G-MISP+SP": GMISPSPPartitioner,
+    "pBD-ISP": PBDISPPartitioner,
+    "SP-ISP": SPISPPartitioner,
+}
+
+__all__ = [
+    "CompositeUnits",
+    "build_units",
+    "Partition",
+    "Partitioner",
+    "PartitionError",
+    "PACMetrics",
+    "evaluate_partition",
+    "greedy_sequence_partition",
+    "optimal_sequence_partition",
+    "weighted_sequence_partition",
+    "segment_loads",
+    "SFCPartitioner",
+    "ISPPartitioner",
+    "GMISPPartitioner",
+    "GMISPSPPartitioner",
+    "PBDISPPartitioner",
+    "SPISPPartitioner",
+    "HeterogeneousPartitioner",
+    "EqualPartitioner",
+    "PARTITIONER_REGISTRY",
+]

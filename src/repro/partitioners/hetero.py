@@ -1,0 +1,53 @@
+"""System-sensitive partitioners (Section 4.6, Figure 4).
+
+:class:`HeterogeneousPartitioner` distributes the curve-ordered workload
+in proportion to relative processor capacities computed from monitored
+CPU / memory / bandwidth; :class:`EqualPartitioner` is the paper's default
+baseline that "performs an equal distribution of the workload on the
+processors" regardless of their actual state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners.base import Partitioner, PartitionError
+from repro.partitioners.sequence import weighted_sequence_partition
+from repro.partitioners.units import CompositeUnits
+
+__all__ = ["HeterogeneousPartitioner", "EqualPartitioner"]
+
+
+class HeterogeneousPartitioner(Partitioner):
+    """Capacity-proportional contiguous split of the composite grid."""
+
+    name = "heterogeneous"
+
+    def _assign(
+        self,
+        units: CompositeUnits,
+        num_procs: int,
+        capacities: np.ndarray | None,
+    ) -> np.ndarray:
+        if capacities is None:
+            raise PartitionError(
+                "HeterogeneousPartitioner requires relative capacities; "
+                "use CapacityCalculator (repro.core) to compute them"
+            )
+        return weighted_sequence_partition(units.loads, num_procs, capacities)
+
+
+class EqualPartitioner(Partitioner):
+    """Equal-share contiguous split (the paper's default baseline)."""
+
+    name = "equal"
+
+    def _assign(
+        self,
+        units: CompositeUnits,
+        num_procs: int,
+        capacities: np.ndarray | None,
+    ) -> np.ndarray:
+        return weighted_sequence_partition(
+            units.loads, num_procs, np.ones(num_procs)
+        )

@@ -1,0 +1,89 @@
+"""pBD-ISP: p-way binary dissection with inverse SFC ordering.
+
+Recursive geometric bisection of the unit lattice: the processor group is
+halved, the lattice box is cut by an axis-aligned plane placing load in
+proportion to the two halves, and recursion continues until every
+processor owns one rectangular block.  Compact rectangular subdomains give
+the lowest communication volume and data migration of the suite — at the
+price of the worst load balance (Table 4: 35 % max imbalance), because cut
+planes are constrained to whole lattice slices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners.base import Partitioner
+from repro.partitioners.units import CompositeUnits
+
+__all__ = ["PBDISPPartitioner"]
+
+
+class PBDISPPartitioner(Partitioner):
+    """Recursive coordinate bisection over the unit lattice."""
+
+    name = "pBD-ISP"
+    messages_per_neighbor = 1.0
+
+    def _assign(
+        self,
+        units: CompositeUnits,
+        num_procs: int,
+        capacities: np.ndarray | None,
+    ) -> np.ndarray:
+        # Work on the lattice-ordered load cube, then map back to curve order.
+        lat_loads = np.empty(len(units))
+        lat_loads[units.lattice_index] = units.loads
+        cube = lat_loads.reshape(units.grid_shape)
+        owners_cube = np.zeros(units.grid_shape, dtype=int)
+        self._bisect(cube, owners_cube, proc_lo=0, proc_hi=num_procs)
+        lat_owner = owners_cube.reshape(-1)
+        return lat_owner[units.lattice_index]
+
+    def _bisect(
+        self,
+        cube: np.ndarray,
+        owners: np.ndarray,
+        proc_lo: int,
+        proc_hi: int,
+    ) -> None:
+        nprocs = proc_hi - proc_lo
+        if nprocs <= 1:
+            owners[...] = proc_lo
+            return
+        p1 = nprocs // 2
+        frac = p1 / nprocs
+        # Evaluate a cut on every axis and keep the one whose achievable
+        # plane lands closest to the target load fraction.
+        total = float(cube.sum())
+        best: tuple[float, int, int] | None = None  # (error, axis, cut)
+        for axis in range(3):
+            if cube.shape[axis] < 2:
+                continue
+            other = tuple(a for a in range(3) if a != axis)
+            cums = np.cumsum(cube.sum(axis=other))
+            if total <= 0:
+                cut = max(1, int(round(cube.shape[axis] * frac)))
+                err = 0.0
+            else:
+                target = frac * total
+                idx = int(np.searchsorted(cums, target))
+                candidates = [c for c in (idx, idx + 1)
+                              if 1 <= c <= cube.shape[axis] - 1]
+                if not candidates:
+                    candidates = [min(max(idx, 1), cube.shape[axis] - 1)]
+                cut = min(candidates, key=lambda c: abs(float(cums[c - 1]) - target))
+                err = abs(float(cums[cut - 1]) - target)
+            if best is None or err < best[0]:
+                best = (err, axis, cut)
+        if best is None:
+            # No axis can be cut: give everything to the first subgroup.
+            owners[...] = proc_lo
+            return
+        _, axis, cut = best
+        sl_lo = [slice(None)] * 3
+        sl_hi = [slice(None)] * 3
+        sl_lo[axis] = slice(0, cut)
+        sl_hi[axis] = slice(cut, cube.shape[axis])
+        self._bisect(cube[tuple(sl_lo)], owners[tuple(sl_lo)], proc_lo, proc_lo + p1)
+        self._bisect(cube[tuple(sl_hi)], owners[tuple(sl_hi)], proc_lo + p1, proc_hi)

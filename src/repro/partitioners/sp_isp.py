@@ -1,0 +1,40 @@
+"""SP-ISP: pure sequence partitioning over the inverse SFC.
+
+The exact minimal-bottleneck split applied directly at unit granularity —
+the best achievable contiguous load balance, paid for with the highest
+partitioning time of the suite (binary search over the full-resolution
+sequence) and cut positions that move freely between regrids (higher
+migration).  The policy base recommends it only for low-dynamics,
+computation-dominated octants (Table 2: octants III and IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners.base import Partitioner
+from repro.partitioners.sequence import optimal_sequence_partition
+from repro.partitioners.units import CompositeUnits
+
+__all__ = ["SPISPPartitioner"]
+
+
+class SPISPPartitioner(Partitioner):
+    """Exact minimal-bottleneck contiguous split at unit granularity."""
+
+    name = "SP-ISP"
+
+    def __init__(self, tol: float = 1e-12) -> None:
+        """``tol``: relative bottleneck tolerance of the binary search (the
+        tight default makes the split effectively exact)."""
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        self.tol = tol
+
+    def _assign(
+        self,
+        units: CompositeUnits,
+        num_procs: int,
+        capacities: np.ndarray | None,
+    ) -> np.ndarray:
+        return optimal_sequence_partition(units.loads, num_procs, tol=self.tol)

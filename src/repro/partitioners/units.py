@@ -1,0 +1,155 @@
+"""Composite-grid units: the common currency of domain-based partitioners.
+
+The composite grid view collapses the SAMR hierarchy onto the base grid
+(:func:`repro.amr.workload.composite_load_map`); partitioners then operate
+on *units* — uniform base-grid blocks of a chosen granularity, each
+carrying its composite load — linearized along a space-filling curve.
+Keeping units on a regular block lattice makes adjacency (and hence the
+communication metric) a constant-time lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.workload import WorkloadMap, composite_load_map
+from repro.sfc import CURVES
+
+__all__ = ["CompositeUnits", "build_units"]
+
+
+@dataclass(slots=True)
+class CompositeUnits:
+    """Blocks of the base grid, ordered along a space-filling curve.
+
+    Arrays are aligned: entry ``i`` describes the ``i``-th unit *in curve
+    order*.  ``grid_shape`` is the unit lattice (nx, ny, nz); ``ijk`` the
+    lattice coordinates of each unit; ``unit_id`` maps lattice C-order
+    index → curve position (inverse of ``lattice_index``).
+    """
+
+    domain: Box
+    granularity: int
+    curve: str
+    grid_shape: tuple[int, int, int]
+    ijk: np.ndarray            # (n, 3) lattice coordinates, curve order
+    loads: np.ndarray          # (n,) composite load per unit, curve order
+    lattice_index: np.ndarray  # (n,) flat C-order lattice index, curve order
+    curve_position: np.ndarray  # (nx*ny*nz,) lattice index -> curve order
+
+    def __len__(self) -> int:
+        return len(self.loads)
+
+    @property
+    def total_load(self) -> float:
+        """Sum of unit loads."""
+        return float(self.loads.sum())
+
+    def unit_box(self, i: int) -> Box:
+        """Base-grid box of the ``i``-th unit (curve order)."""
+        g = self.granularity
+        lo = tuple(
+            int(self.domain.lo[a] + self.ijk[i, a] * g) for a in range(3)
+        )
+        hi = tuple(
+            min(lo[a] + g, self.domain.hi[a]) for a in range(3)
+        )
+        return Box(lo, hi)
+
+    def unit_shapes(self) -> np.ndarray:
+        """(n, 3) extent of each unit in base cells (edge units clipped)."""
+        g = self.granularity
+        lo = self.ijk * g + np.asarray(self.domain.lo)
+        hi = np.minimum(lo + g, np.asarray(self.domain.hi))
+        return hi - lo
+
+    def neighbors_in_curve_order(self) -> list[tuple[int, int, int]]:
+        """Face-adjacent unit pairs as (i, j, axis) with i, j curve positions.
+
+        Each lattice face is reported once (from the lower neighbor).
+        """
+        nx, ny, nz = self.grid_shape
+        out: list[tuple[int, int, int]] = []
+        lat = self.curve_position.reshape(self.grid_shape)
+        for axis in range(3):
+            sl_lo = [slice(None)] * 3
+            sl_hi = [slice(None)] * 3
+            sl_lo[axis] = slice(0, self.grid_shape[axis] - 1)
+            sl_hi[axis] = slice(1, self.grid_shape[axis])
+            a = lat[tuple(sl_lo)].ravel()
+            b = lat[tuple(sl_hi)].ravel()
+            out.extend(zip(a.tolist(), b.tolist(), [axis] * len(a)))
+        return out
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized adjacency: (i, j, axis) arrays of curve positions."""
+        pairs = self.neighbors_in_curve_order()
+        if not pairs:
+            return (np.zeros(0, int), np.zeros(0, int), np.zeros(0, int))
+        arr = np.asarray(pairs, dtype=int)
+        return arr[:, 0], arr[:, 1], arr[:, 2]
+
+
+def build_units(
+    hierarchy_or_map: GridHierarchy | WorkloadMap,
+    *,
+    granularity: int = 4,
+    curve: str = "hilbert",
+) -> CompositeUnits:
+    """Build composite units from a hierarchy (or a precomputed load map).
+
+    ``granularity`` is the unit block edge in base cells; the paper calls
+    this the "partitioning granularity" configured per octant policy.
+    """
+    if granularity < 1:
+        raise ValueError(f"granularity must be >= 1, got {granularity}")
+    if curve not in CURVES:
+        raise ValueError(f"unknown curve {curve!r}; choose from {sorted(CURVES)}")
+
+    if isinstance(hierarchy_or_map, GridHierarchy):
+        wmap = composite_load_map(hierarchy_or_map)
+    else:
+        wmap = hierarchy_or_map
+    domain = wmap.domain
+    shape = domain.shape
+    g = granularity
+    grid_shape = tuple(-(-s // g) for s in shape)
+
+    # Block-sum the load map onto the unit lattice (pad to a multiple of g).
+    padded_shape = tuple(n * g for n in grid_shape)
+    if padded_shape != shape:
+        padded = np.zeros(padded_shape)
+        padded[: shape[0], : shape[1], : shape[2]] = wmap.values
+    else:
+        padded = wmap.values
+    block_loads = padded.reshape(
+        grid_shape[0], g, grid_shape[1], g, grid_shape[2], g
+    ).sum(axis=(1, 3, 5))
+
+    # Curve order over lattice coordinates.
+    nx, ny, nz = grid_shape
+    ii, jj, kk = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    flat_ijk = np.column_stack([ii.ravel(), jj.ravel(), kk.ravel()])
+    bits = max(1, int(np.ceil(np.log2(max(grid_shape)))) if max(grid_shape) > 1 else 1)
+    keys = CURVES[curve](flat_ijk[:, 0], flat_ijk[:, 1], flat_ijk[:, 2], bits)
+    order = np.argsort(keys, kind="stable")
+
+    curve_position = np.empty(len(order), dtype=int)
+    curve_position[order] = np.arange(len(order))
+
+    return CompositeUnits(
+        domain=domain,
+        granularity=g,
+        curve=curve,
+        grid_shape=grid_shape,  # type: ignore[arg-type]
+        ijk=flat_ijk[order],
+        loads=block_loads.ravel()[order],
+        lattice_index=order,
+        curve_position=curve_position,
+    )

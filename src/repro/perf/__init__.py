@@ -1,0 +1,37 @@
+"""Performance Functions (PFs): fit, compose, predict.
+
+Section 3.2: a PF "describes the behavior of a system component ... in
+terms of changes in one or more of its attributes"; component PFs are fit
+from measurements (the paper feeds them to a neural network) and composed
+into an end-to-end PF analogous to block transfer functions in control
+theory.  This package implements the three-step method — attribute
+selection, per-component fitting, composition — and the Table 1
+experiment that validates it.
+"""
+
+from repro.perf.functions import (
+    PerformanceFunction,
+    CallablePF,
+    SumPF,
+    MaxPF,
+    ScaledPF,
+)
+from repro.perf.fitting import FittedPF, fit_polynomial, fit_neural
+from repro.perf.components import SimulatedComponent, MatMulHost, EthernetSwitch
+from repro.perf.endtoend import PFModelingExperiment, PFAccuracyRow
+
+__all__ = [
+    "PerformanceFunction",
+    "CallablePF",
+    "SumPF",
+    "MaxPF",
+    "ScaledPF",
+    "FittedPF",
+    "fit_polynomial",
+    "fit_neural",
+    "SimulatedComponent",
+    "MatMulHost",
+    "EthernetSwitch",
+    "PFModelingExperiment",
+    "PFAccuracyRow",
+]

@@ -1,0 +1,109 @@
+"""Simulated measurable components for PF modeling.
+
+The Table 1 example system: two computers (PC1, PC2) running a matrix
+multiplication, connected through an Ethernet switch.  Each component has a
+hidden "true" timing model; :meth:`measure` draws noisy observations from
+it, exactly as instrumenting real hardware would.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.util.rng import ensure_rng
+
+__all__ = ["SimulatedComponent", "MatMulHost", "EthernetSwitch"]
+
+
+class SimulatedComponent(abc.ABC):
+    """A component whose task time can be measured but not read directly."""
+
+    def __init__(self, name: str, noise: float = 0.02, seed: int | None = 0) -> None:
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.name = name
+        self.noise = noise
+        self._rng = ensure_rng(seed)
+
+    @abc.abstractmethod
+    def true_time(self, data_size: np.ndarray | float) -> np.ndarray | float:
+        """Hidden ground-truth task time for ``data_size`` bytes."""
+
+    def measure(self, data_size: np.ndarray | float) -> np.ndarray | float:
+        """One noisy timing measurement per requested size."""
+        t = np.asarray(self.true_time(data_size), dtype=float)
+        jitter = 1.0 + self.noise * self._rng.standard_normal(t.shape)
+        out = np.maximum(t * jitter, 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def measure_repeated(
+        self, data_size: float, repetitions: int
+    ) -> np.ndarray:
+        """Repeated measurements at one size (for averaging)."""
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        return np.asarray(
+            [self.measure(data_size) for _ in range(repetitions)], dtype=float
+        )
+
+
+class MatMulHost(SimulatedComponent):
+    """A PC running a matrix multiplication over a D-byte payload.
+
+    ``D`` bytes of float64 form an n x n matrix with ``n = sqrt(D / 8)``;
+    the multiply costs ``2 n^3`` flops plus fixed software overhead — i.e.
+    ``t(D) = overhead + (2 / flops) * (D / 8)^1.5``.  Defaults are
+    calibrated so the composed PC1-switch-PC2 round trip lands on the
+    paper's measured millisecond-scale delays (Table 1).
+    """
+
+    def __init__(
+        self,
+        name: str = "pc",
+        *,
+        overhead: float = 3.1e-4,
+        flops: float = 4.1e6,
+        noise: float = 0.02,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(name, noise, seed)
+        if overhead < 0 or flops <= 0:
+            raise ValueError("overhead must be >= 0 and flops positive")
+        self.overhead = overhead
+        self.flops = flops
+
+    def true_time(self, data_size: np.ndarray | float) -> np.ndarray | float:
+        d = np.asarray(data_size, dtype=float)
+        if (d < 0).any():
+            raise ValueError("data_size must be >= 0")
+        n_cubed = (d / 8.0) ** 1.5
+        out = self.overhead + 2.0 * n_cubed / self.flops
+        return float(out) if out.ndim == 0 else out
+
+
+class EthernetSwitch(SimulatedComponent):
+    """Store-and-forward Ethernet switch: latency plus serialization."""
+
+    def __init__(
+        self,
+        name: str = "switch",
+        *,
+        latency: float = 5.0e-5,
+        bandwidth: float = 5.0e6,
+        noise: float = 0.02,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(name, noise, seed)
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth positive")
+        self.latency = latency
+        self.bandwidth = bandwidth
+
+    def true_time(self, data_size: np.ndarray | float) -> np.ndarray | float:
+        d = np.asarray(data_size, dtype=float)
+        if (d < 0).any():
+            raise ValueError("data_size must be >= 0")
+        out = self.latency + d / self.bandwidth
+        return float(out) if out.ndim == 0 else out

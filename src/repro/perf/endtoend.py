@@ -1,0 +1,136 @@
+"""The PF modeling experiment of Table 1.
+
+Two PCs connected through an Ethernet switch run a ping-pong matrix
+multiplication; each component's PF is fitted from noisy measurements and
+the end-to-end PF is their summation (Eq. 2).  The experiment then compares
+composed-PF predictions against measured end-to-end delays at held-out data
+sizes and reports the percentage error — the paper observes 0.5–5 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.perf.components import EthernetSwitch, MatMulHost, SimulatedComponent
+from repro.perf.fitting import FittedPF, fit_neural
+from repro.perf.functions import SumPF
+from repro.util.rng import ensure_rng
+from repro.util.stats import relative_error
+
+__all__ = ["PFAccuracyRow", "PFModelingExperiment"]
+
+#: The data sizes of Table 1, in bytes.
+TABLE1_SIZES = (200, 400, 600, 800, 1000)
+
+
+@dataclass(frozen=True, slots=True)
+class PFAccuracyRow:
+    """One row of Table 1."""
+
+    data_size: int
+    predicted: float
+    measured: float
+    error_pct: float
+
+
+class PFModelingExperiment:
+    """Fit per-component PFs, compose, and validate end-to-end.
+
+    Parameters
+    ----------
+    fitter:
+        PF fitting backend: ``(x, y, name) -> FittedPF``.  Defaults to the
+        neural fitter, matching the paper's method.
+    train_sizes:
+        Data sizes (bytes) at which components are instrumented.
+    repetitions:
+        Timing repetitions per training size (measurements are averaged).
+    """
+
+    def __init__(
+        self,
+        *,
+        fitter: Callable[..., FittedPF] | None = None,
+        train_sizes: Sequence[int] | None = None,
+        repetitions: int = 5,
+        noise: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        rng = ensure_rng(seed)
+        seeds = rng.integers(0, 2**31 - 1, size=4)
+        self.pc1 = MatMulHost("pc1", noise=noise, seed=int(seeds[0]))
+        self.pc2 = MatMulHost("pc2", noise=noise, seed=int(seeds[1]))
+        self.switch = EthernetSwitch("switch", noise=noise, seed=int(seeds[2]))
+        self._measure_rng = ensure_rng(int(seeds[3]))
+        self.fitter = fitter or (
+            lambda x, y, name: fit_neural(x, y, name=name, seed=0)
+        )
+        self.train_sizes = np.asarray(
+            train_sizes
+            if train_sizes is not None
+            else np.arange(100, 1201, 50),
+            dtype=float,
+        )
+        self.repetitions = repetitions
+        self.component_pfs: dict[str, FittedPF] = {}
+        self.end_to_end: SumPF | None = None
+
+    # -- step 2: fit per-component PFs ------------------------------------------------
+
+    def fit(self) -> SumPF:
+        """Instrument each component, fit its PF, compose the end-to-end PF."""
+        for comp in (self.pc1, self.switch, self.pc2):
+            y = np.array(
+                [
+                    comp.measure_repeated(size, self.repetitions).mean()
+                    for size in self.train_sizes
+                ]
+            )
+            self.component_pfs[comp.name] = self.fitter(
+                self.train_sizes, y, name=comp.name
+            )
+        self.end_to_end = SumPF(
+            [
+                self.component_pfs["pc1"],
+                self.component_pfs["switch"],
+                self.component_pfs["pc2"],
+            ]
+        )
+        return self.end_to_end
+
+    # -- step 3: validate against measured end-to-end delays ---------------------------
+
+    def measured_end_to_end(self, data_size: float) -> float:
+        """One measured response time PC1 → switch → PC2 at ``data_size``."""
+        return float(
+            self.pc1.measure(data_size)
+            + self.switch.measure(data_size)
+            + self.pc2.measure(data_size)
+        )
+
+    def evaluate(
+        self, sizes: Sequence[int] = TABLE1_SIZES, repetitions: int = 5
+    ) -> list[PFAccuracyRow]:
+        """Produce Table 1: predicted vs measured delay and % error."""
+        if self.end_to_end is None:
+            self.fit()
+        rows = []
+        for size in sizes:
+            predicted = float(self.end_to_end.predict(float(size)))
+            measured = float(
+                np.mean([self.measured_end_to_end(size) for _ in range(repetitions)])
+            )
+            rows.append(
+                PFAccuracyRow(
+                    data_size=int(size),
+                    predicted=predicted,
+                    measured=measured,
+                    error_pct=relative_error(predicted, measured),
+                )
+            )
+        return rows

@@ -1,0 +1,145 @@
+"""Fitting performance functions from measurements.
+
+The paper: "we measure the task processing time in terms of data size, and
+then feed these measurements to a neural network to obtain the
+corresponding PF."  We provide that neural backend (a small numpy MLP
+trained with Adam) plus a least-squares polynomial backend for cheap cases
+and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.functions import PerformanceFunction
+from repro.util.rng import ensure_rng
+
+__all__ = ["FittedPF", "fit_polynomial", "fit_neural"]
+
+
+class FittedPF(PerformanceFunction):
+    """A PF backed by a fitted model plus training metadata."""
+
+    def __init__(
+        self,
+        predict_fn,
+        *,
+        name: str,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        attribute: str = "data_size",
+        metric: str = "delay",
+    ) -> None:
+        self._predict_fn = predict_fn
+        self.name = name
+        self.train_x = np.asarray(train_x, dtype=float)
+        self.train_y = np.asarray(train_y, dtype=float)
+        self.attribute = attribute
+        self.metric = metric
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        arr = np.asarray(x, dtype=float)
+        out = self._predict_fn(arr)
+        if np.isscalar(x) or arr.ndim == 0:
+            return float(out)
+        return out
+
+    def training_rmse(self) -> float:
+        """Root-mean-square error on the training set."""
+        pred = np.asarray(self.predict(self.train_x), dtype=float)
+        return float(np.sqrt(np.mean((pred - self.train_y) ** 2)))
+
+
+def _check_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.size != y.size:
+        raise ValueError(f"x and y sizes differ: {x.size} vs {y.size}")
+    if x.size < 2:
+        raise ValueError("need at least 2 training points")
+    return x, y
+
+
+def fit_polynomial(
+    x: np.ndarray, y: np.ndarray, degree: int = 2, name: str = "poly"
+) -> FittedPF:
+    """Least-squares polynomial PF of the given degree."""
+    x, y = _check_xy(x, y)
+    if degree < 0:
+        raise ValueError(f"degree must be >= 0, got {degree}")
+    if degree >= x.size:
+        raise ValueError(
+            f"degree {degree} too high for {x.size} training points"
+        )
+    coeffs = np.polyfit(x, y, degree)
+
+    def predict(arr: np.ndarray) -> np.ndarray:
+        return np.polyval(coeffs, arr)
+
+    return FittedPF(predict, name=f"{name}(deg={degree})", train_x=x, train_y=y)
+
+
+def fit_neural(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    hidden: int = 16,
+    epochs: int = 3000,
+    lr: float = 0.01,
+    seed: int = 0,
+    name: str = "mlp",
+) -> FittedPF:
+    """One-hidden-layer tanh MLP trained with full-batch Adam.
+
+    Inputs and outputs are standardized internally, so delays in seconds
+    (1e-4 scale) train as well as loads in the thousands.  On the paper's
+    ~dozen-point training sets this takes milliseconds.
+    """
+    x, y = _check_xy(x, y)
+    if hidden < 1:
+        raise ValueError(f"hidden must be >= 1, got {hidden}")
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    rng = ensure_rng(seed)
+
+    x_mu, x_sd = x.mean(), max(x.std(), 1e-12)
+    y_mu, y_sd = y.mean(), max(y.std(), 1e-12)
+    xs = ((x - x_mu) / x_sd)[:, None]
+    ys = ((y - y_mu) / y_sd)[:, None]
+
+    w1 = rng.standard_normal((1, hidden)) / np.sqrt(1.0)
+    b1 = np.zeros((1, hidden))
+    w2 = rng.standard_normal((hidden, 1)) / np.sqrt(hidden)
+    b2 = np.zeros((1, 1))
+    params = [w1, b1, w2, b2]
+    m = [np.zeros_like(p) for p in params]
+    v = [np.zeros_like(p) for p in params]
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+    n = xs.shape[0]
+    for t in range(1, epochs + 1):
+        h = np.tanh(xs @ w1 + b1)
+        pred = h @ w2 + b2
+        err = pred - ys
+        # Backprop of MSE.
+        g_pred = 2.0 * err / n
+        g_w2 = h.T @ g_pred
+        g_b2 = g_pred.sum(0, keepdims=True)
+        g_h = g_pred @ w2.T
+        g_pre = g_h * (1.0 - h * h)
+        g_w1 = xs.T @ g_pre
+        g_b1 = g_pre.sum(0, keepdims=True)
+        grads = [g_w1, g_b1, g_w2, g_b2]
+        for i, (p, g) in enumerate(zip(params, grads)):
+            m[i] = beta1 * m[i] + (1 - beta1) * g
+            v[i] = beta2 * v[i] + (1 - beta2) * g * g
+            mh = m[i] / (1 - beta1**t)
+            vh = v[i] / (1 - beta2**t)
+            p -= lr * mh / (np.sqrt(vh) + eps)
+
+    def predict(arr: np.ndarray) -> np.ndarray:
+        xn = ((arr - x_mu) / x_sd).reshape(-1, 1)
+        out = np.tanh(xn @ w1 + b1) @ w2 + b2
+        return (out * y_sd + y_mu).reshape(np.shape(arr))
+
+    return FittedPF(predict, name=f"{name}(h={hidden})", train_x=x, train_y=y)

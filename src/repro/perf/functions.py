@@ -1,0 +1,107 @@
+"""Performance-function objects and their composition algebra."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["PerformanceFunction", "CallablePF", "SumPF", "MaxPF", "ScaledPF"]
+
+
+class PerformanceFunction(abc.ABC):
+    """Maps an attribute value (e.g. data size) to a performance metric.
+
+    PFs are vectorized: ``predict`` accepts scalars or arrays.  Composition
+    follows the paper's control-theory analogy — components in series sum
+    their delays (:class:`SumPF`, Eq. 2), concurrent branches bound by the
+    slowest (:class:`MaxPF`).
+    """
+
+    #: attribute the PF is expressed over (documentation/diagnostics)
+    attribute: str = "data_size"
+    #: metric the PF returns
+    metric: str = "delay"
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Metric value(s) at attribute value(s) ``x``."""
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        return self.predict(x)
+
+    def __add__(self, other: "PerformanceFunction") -> "SumPF":
+        return SumPF([self, other])
+
+
+class CallablePF(PerformanceFunction):
+    """Adapts a plain function (an analytical model) into a PF."""
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray],
+        name: str = "callable",
+        attribute: str = "data_size",
+        metric: str = "delay",
+    ) -> None:
+        self._fn = fn
+        self.name = name
+        self.attribute = attribute
+        self.metric = metric
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        return self._fn(np.asarray(x, dtype=float))
+
+
+class SumPF(PerformanceFunction):
+    """Series composition: total delay is the sum of stage delays (Eq. 2)."""
+
+    def __init__(self, parts: Sequence[PerformanceFunction]) -> None:
+        if not parts:
+            raise ValueError("SumPF requires at least one part")
+        attrs = {p.attribute for p in parts}
+        if len(attrs) > 1:
+            raise ValueError(f"cannot sum PFs over different attributes: {attrs}")
+        self.parts = list(parts)
+        self.attribute = self.parts[0].attribute
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        out = self.parts[0].predict(x)
+        for p in self.parts[1:]:
+            out = out + p.predict(x)
+        return out
+
+
+class MaxPF(PerformanceFunction):
+    """Parallel composition: concurrent stages bound by the slowest."""
+
+    def __init__(self, parts: Sequence[PerformanceFunction]) -> None:
+        if not parts:
+            raise ValueError("MaxPF requires at least one part")
+        attrs = {p.attribute for p in parts}
+        if len(attrs) > 1:
+            raise ValueError(f"cannot max PFs over different attributes: {attrs}")
+        self.parts = list(parts)
+        self.attribute = self.parts[0].attribute
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        out = self.parts[0].predict(x)
+        for p in self.parts[1:]:
+            out = np.maximum(out, p.predict(x))
+        return out
+
+
+class ScaledPF(PerformanceFunction):
+    """A PF repeated ``factor`` times (e.g. a link traversed twice)."""
+
+    def __init__(self, inner: PerformanceFunction, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.inner = inner
+        self.factor = factor
+        self.attribute = inner.attribute
+        self.metric = inner.metric
+
+    def predict(self, x: np.ndarray | float) -> np.ndarray | float:
+        return self.factor * self.inner.predict(x)

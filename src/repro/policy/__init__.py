@@ -1,0 +1,61 @@
+"""Application characterization and the adaptation policy knowledge base.
+
+Two halves:
+
+- :mod:`repro.policy.octant` — the octant approach (Figure 2): classify
+  SAMR application state along three binary axes (adaptation pattern,
+  activity dynamics, computation/communication dominance) into octants
+  I–VIII.
+- :mod:`repro.policy.kb` / :mod:`repro.policy.rules` /
+  :mod:`repro.policy.fuzzy` — the programmable policy base (Section 3.5):
+  rules relating state abstractions to configurations, with associative
+  partial-match queries and fuzzy reasoning.
+- :mod:`repro.policy.defaults` — the paper's policy content, including the
+  Table 2 octant → partitioner recommendations.
+"""
+
+from repro.policy.octant import (
+    Octant,
+    OctantAxes,
+    OctantThresholds,
+    AppSignals,
+    OctantState,
+    classify_hierarchy,
+    classify_trace,
+)
+from repro.policy.fuzzy import FuzzySet, triangular, trapezoidal
+from repro.policy.rules import Condition, Rule
+from repro.policy.kb import PolicyKnowledgeBase, QueryResult
+from repro.policy.derive import derive_recommendations, requirement_weights
+from repro.policy.serialize import kb_to_json, kb_from_json, save_kb, load_kb
+from repro.policy.defaults import (
+    TABLE2_RECOMMENDATIONS,
+    default_policy_base,
+    octant_partitioner_rules,
+)
+
+__all__ = [
+    "Octant",
+    "OctantAxes",
+    "OctantThresholds",
+    "AppSignals",
+    "OctantState",
+    "classify_hierarchy",
+    "classify_trace",
+    "FuzzySet",
+    "triangular",
+    "trapezoidal",
+    "Condition",
+    "Rule",
+    "PolicyKnowledgeBase",
+    "QueryResult",
+    "derive_recommendations",
+    "requirement_weights",
+    "kb_to_json",
+    "kb_from_json",
+    "save_kb",
+    "load_kb",
+    "TABLE2_RECOMMENDATIONS",
+    "default_policy_base",
+    "octant_partitioner_rules",
+]

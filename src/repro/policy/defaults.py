@@ -1,0 +1,113 @@
+"""The paper's default policy content.
+
+``TABLE2_RECOMMENDATIONS`` reproduces Table 2 verbatim: the ordered
+partitioner recommendations per application-state octant.  The rule
+factory functions turn that table (plus the configuration heuristics of
+Sections 3.5/4.3 — partitioning granularity and communication mechanism
+per octant) into :class:`~repro.policy.rules.Rule` objects for the
+knowledge base.
+"""
+
+from __future__ import annotations
+
+from repro.policy.kb import PolicyKnowledgeBase
+from repro.policy.octant import Octant, OctantAxes
+from repro.policy.rules import Condition, Rule
+
+__all__ = [
+    "TABLE2_RECOMMENDATIONS",
+    "octant_partitioner_rules",
+    "default_policy_base",
+]
+
+#: Table 2 — "Recommendations for mapping octants onto partitioning schemes".
+TABLE2_RECOMMENDATIONS: dict[Octant, tuple[str, ...]] = {
+    Octant.I: ("pBD-ISP", "G-MISP+SP"),
+    Octant.II: ("pBD-ISP",),
+    Octant.III: ("G-MISP+SP", "SP-ISP"),
+    Octant.IV: ("G-MISP+SP", "SP-ISP", "ISP"),
+    Octant.V: ("pBD-ISP",),
+    Octant.VI: ("pBD-ISP",),
+    Octant.VII: ("G-MISP+SP",),
+    Octant.VIII: ("G-MISP+SP", "ISP"),
+}
+
+
+def _octant_config(octant: Octant) -> dict:
+    """Per-octant partitioner configuration (Section 4.3: partitioners are
+    "configured with appropriate parameters such as partitioning
+    granularity and threshold").
+
+    Computation-dominated octants use a finer partitioning granularity —
+    balance is what matters and the extra partitioning cost amortizes over
+    the heavy compute; communication-dominated and high-dynamics octants
+    use coarser grain and latency-tolerant communication.
+    """
+    axes = OctantAxes.of(octant)
+    granularity = 1 if axes.comm_dominated else 2
+    comm_mechanism = (
+        "latency-tolerant" if axes.comm_dominated or axes.high_dynamics
+        else "synchronous"
+    )
+    return {
+        "granularity": granularity,
+        "comm_mechanism": comm_mechanism,
+        # Repartition eagerly in high-dynamics octants, lazily otherwise.
+        "repartition_hysteresis": 0 if axes.high_dynamics else 1,
+    }
+
+
+def octant_partitioner_rules() -> list[Rule]:
+    """One rule per octant: Table 2 recommendation plus configuration."""
+    rules = []
+    for octant, partitioners in TABLE2_RECOMMENDATIONS.items():
+        rules.append(
+            Rule(
+                name=f"octant-{octant.value}-partitioner",
+                condition=Condition(exact={"octant": octant}),
+                action={
+                    "partitioners": partitioners,
+                    "partitioner": partitioners[0],
+                    **_octant_config(octant),
+                },
+                priority=1.0,
+                description=(
+                    f"Table 2: octant {octant.value} -> "
+                    f"{', '.join(partitioners)}"
+                ),
+            )
+        )
+    return rules
+
+
+def _example_rules() -> list[Rule]:
+    """The paper's Section 3.5 example heuristics, encoded literally."""
+    return [
+        Rule(
+            name="cluster-octant-VI-latency-tolerant",
+            condition=Condition(
+                exact={"system": "networked-cluster", "octant": Octant.VI}
+            ),
+            action={"comm_mechanism": "latency-tolerant"},
+            priority=2.0,
+            description=(
+                "If on a networked cluster and AMR application is in octant "
+                "VI use latency-tolerant communication"
+            ),
+        ),
+        Rule(
+            name="small-cache-small-grids",
+            condition=Condition(exact={"cache": "small"}),
+            action={"max_refined_patch_cells": 4096},
+            priority=0.5,
+            description=(
+                "If cache size is small use refined grid components no "
+                "larger than Q"
+            ),
+        ),
+    ]
+
+
+def default_policy_base() -> PolicyKnowledgeBase:
+    """Knowledge base preloaded with the paper's policies."""
+    return PolicyKnowledgeBase(octant_partitioner_rules() + _example_rules())

@@ -1,0 +1,145 @@
+"""Deriving octant → partitioner recommendations from measurements.
+
+Table 2 encodes expert knowledge ("we then assign partitioner(s) to
+application state-octants based on their ability to meet the requirements
+of that octant").  This module mechanizes that assignment: it takes an
+adaptation trace, groups snapshots by octant, scores every partitioner on
+the five-component PAC metric over each group, weights the components by
+the octant's *requirements* (communication-dominated octants care about
+communication volume and migration; computation-dominated octants care
+about load balance; high-dynamics octants penalize partitioning time and
+migration), and ranks.
+
+The derived ranking can be compared against — or substituted for — the
+paper's Table 2 via :func:`recommendations_to_rules`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amr.trace import AdaptationTrace
+from repro.partitioners import PARTITIONER_REGISTRY, build_units, evaluate_partition
+from repro.policy.octant import Octant, OctantAxes, OctantThresholds, classify_trace
+
+__all__ = ["OctantWeights", "derive_recommendations", "requirement_weights"]
+
+#: PAC metric component names in fixed order
+_COMPONENTS = (
+    "load_imbalance_pct",
+    "comm_volume",
+    "data_migration",
+    "partition_time",
+    "overhead",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OctantWeights:
+    """Relative importance of the PAC components for one octant."""
+
+    load_imbalance: float
+    comm: float
+    migration: float
+    partition_time: float
+    overhead: float
+
+    def as_array(self) -> np.ndarray:
+        w = np.array(
+            [
+                self.load_imbalance,
+                self.comm,
+                self.migration,
+                self.partition_time,
+                self.overhead,
+            ]
+        )
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("octant weights must have a positive sum")
+        return w / total
+
+
+def requirement_weights(octant: Octant) -> OctantWeights:
+    """The octant's partitioning requirements as PAC-component weights.
+
+    Encodes Section 4.2's reasoning: the pattern axis sets how much load
+    balance is worth, the dominance axis how much communication is worth,
+    and the dynamics axis how much repartitioning speed and migration are
+    worth.
+    """
+    axes = OctantAxes.of(octant)
+    balance = 1.0 if not axes.comm_dominated else 0.35
+    comm = 1.0 if axes.comm_dominated else 0.25
+    migration = 0.7 if axes.high_dynamics else 0.25
+    ptime = 0.5 if axes.high_dynamics else 0.15
+    overhead = 0.35 if axes.scattered else 0.2
+    return OctantWeights(
+        load_imbalance=balance,
+        comm=comm,
+        migration=migration,
+        partition_time=ptime,
+        overhead=overhead,
+    )
+
+
+def derive_recommendations(
+    trace: AdaptationTrace,
+    *,
+    num_procs: int = 64,
+    granularity: int = 2,
+    thresholds: OctantThresholds | None = None,
+    partitioners: dict | None = None,
+    max_snapshots_per_octant: int = 8,
+) -> dict[Octant, tuple[str, ...]]:
+    """Rank partitioners per octant from measured PAC metrics.
+
+    For every octant present in the trace, up to
+    ``max_snapshots_per_octant`` representative snapshots are partitioned
+    with every candidate; each PAC component is min-max normalized across
+    candidates per snapshot (so components with different units compose),
+    weighted by :func:`requirement_weights`, and averaged.  Lower score
+    ranks first.
+    """
+    if partitioners is None:
+        partitioners = {name: cls() for name, cls in PARTITIONER_REGISTRY.items()}
+    states = classify_trace(trace, thresholds)
+    by_octant: dict[Octant, list[int]] = defaultdict(list)
+    for idx, state in enumerate(states):
+        by_octant[state.octant].append(idx)
+
+    out: dict[Octant, tuple[str, ...]] = {}
+    for octant, indices in by_octant.items():
+        # Spread the sample across the octant's occurrences.
+        step = max(len(indices) // max_snapshots_per_octant, 1)
+        sample = indices[::step][:max_snapshots_per_octant]
+        weights = requirement_weights(octant).as_array()
+        scores: dict[str, list[float]] = {name: [] for name in partitioners}
+        prev_partitions = {name: None for name in partitioners}
+        for idx in sample:
+            units = build_units(
+                trace[idx].hierarchy, granularity=granularity
+            )
+            rows = {}
+            for name, part in partitioners.items():
+                partition = part.partition(units, num_procs)
+                metrics = evaluate_partition(
+                    partition, prev_partitions[name]
+                )
+                prev_partitions[name] = partition
+                rows[name] = np.array(
+                    [getattr(metrics, c) for c in _COMPONENTS]
+                )
+            matrix = np.stack([rows[name] for name in partitioners])
+            lo = matrix.min(axis=0)
+            span = matrix.max(axis=0) - lo
+            span[span == 0] = 1.0
+            normalized = (matrix - lo) / span
+            for k, name in enumerate(partitioners):
+                scores[name].append(float(normalized[k] @ weights))
+        ranking = sorted(partitioners, key=lambda n: np.mean(scores[n]))
+        out[octant] = tuple(ranking)
+    return out

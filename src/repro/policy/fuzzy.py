@@ -1,0 +1,85 @@
+"""Fuzzy membership primitives for the policy base's associative interface.
+
+Section 3.5: "the policy knowledge base will present an associative
+interface that allows the agents to formulate partial queries and use
+fuzzy reasoning."  Numeric rule conditions are fuzzy sets; a query value
+matches with a degree in [0, 1] instead of a hard predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["FuzzySet", "triangular", "trapezoidal", "crisp_above", "crisp_below"]
+
+
+@dataclass(frozen=True, slots=True)
+class FuzzySet:
+    """A named membership function over a scalar attribute.
+
+    ``spec`` records how the set was constructed (kind + parameters) when
+    it came from one of this module's factories — that is what makes a
+    knowledge base serializable (:mod:`repro.policy.serialize`).  Hand
+    built sets with arbitrary callables have ``spec=None`` and cannot be
+    persisted.
+    """
+
+    name: str
+    membership: Callable[[float], float]
+    spec: tuple | None = None
+
+    def __call__(self, x: float) -> float:
+        mu = self.membership(float(x))
+        if not (0.0 <= mu <= 1.0):
+            raise ValueError(
+                f"membership of fuzzy set {self.name!r} returned {mu}, "
+                "expected a value in [0, 1]"
+            )
+        return mu
+
+
+def triangular(name: str, lo: float, peak: float, hi: float) -> FuzzySet:
+    """Triangular membership: 0 at ``lo``/``hi``, 1 at ``peak``."""
+    if not (lo <= peak <= hi) or lo == hi:
+        raise ValueError(f"need lo <= peak <= hi with lo < hi, got {(lo, peak, hi)}")
+
+    def mu(x: float) -> float:
+        if x <= lo or x >= hi:
+            return 0.0
+        if x == peak:
+            return 1.0
+        if x < peak:
+            return (x - lo) / (peak - lo) if peak > lo else 1.0
+        return (hi - x) / (hi - peak) if hi > peak else 1.0
+
+    return FuzzySet(name, mu, spec=("triangular", lo, peak, hi))
+
+
+def trapezoidal(name: str, lo: float, a: float, b: float, hi: float) -> FuzzySet:
+    """Trapezoidal membership: plateau of 1 between ``a`` and ``b``."""
+    if not (lo <= a <= b <= hi) or lo == hi:
+        raise ValueError(f"need lo <= a <= b <= hi with lo < hi, got {(lo, a, b, hi)}")
+
+    def mu(x: float) -> float:
+        if x < lo or x > hi:
+            return 0.0
+        if a <= x <= b:
+            return 1.0
+        if x < a:
+            return (x - lo) / (a - lo) if a > lo else 1.0
+        return (hi - x) / (hi - b) if hi > b else 1.0
+
+    return FuzzySet(name, mu, spec=("trapezoidal", lo, a, b, hi))
+
+
+def crisp_above(name: str, threshold: float) -> FuzzySet:
+    """Hard step: 1 at or above the threshold, else 0."""
+    return FuzzySet(name, lambda x: 1.0 if x >= threshold else 0.0,
+                    spec=("crisp_above", threshold))
+
+
+def crisp_below(name: str, threshold: float) -> FuzzySet:
+    """Hard step: 1 strictly below the threshold, else 0."""
+    return FuzzySet(name, lambda x: 1.0 if x < threshold else 0.0,
+                    spec=("crisp_below", threshold))

@@ -1,0 +1,113 @@
+"""The programmable policy knowledge base."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.policy.rules import Rule
+
+__all__ = ["QueryResult", "PolicyKnowledgeBase"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """One matched rule with its match degree."""
+
+    rule: Rule
+    degree: float
+
+    @property
+    def score(self) -> float:
+        """Ranking key: match degree weighted by rule priority."""
+        return self.degree * self.rule.priority
+
+
+class PolicyKnowledgeBase:
+    """A programmable store of adaptation policies.
+
+    Supports the operations Section 3.5 calls out: rules can be added,
+    replaced and removed at runtime ("programmability of the knowledge
+    base will allow rules to be modified, adapted and extended"), and
+    queries may be partial and fuzzy.
+    """
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self._rules: dict[str, Rule] = {}
+        for rule in rules or []:
+            self.add(rule)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules
+
+    def add(self, rule: Rule, *, replace: bool = False) -> None:
+        """Register a rule; refuses duplicates unless ``replace=True``."""
+        if rule.name in self._rules and not replace:
+            raise ValueError(
+                f"rule {rule.name!r} already exists (pass replace=True to update)"
+            )
+        self._rules[rule.name] = rule
+
+    def remove(self, name: str) -> Rule:
+        """Delete and return a rule by name."""
+        if name not in self._rules:
+            raise KeyError(f"no rule named {name!r}")
+        return self._rules.pop(name)
+
+    def get(self, name: str) -> Rule:
+        """Look up a rule by name."""
+        if name not in self._rules:
+            raise KeyError(f"no rule named {name!r}")
+        return self._rules[name]
+
+    def rules(self) -> list[Rule]:
+        """All rules (registration order)."""
+        return list(self._rules.values())
+
+    def query(
+        self,
+        state: Mapping[str, Any],
+        *,
+        partial: bool = True,
+        min_degree: float = 1e-9,
+        top: int | None = None,
+    ) -> list[QueryResult]:
+        """Rank rules by match against ``state``.
+
+        ``partial=True`` is the associative interface: the state may
+        mention any subset of attributes.  Results are ordered by
+        ``degree * priority`` descending, ties broken by rule name for
+        determinism.
+        """
+        results = []
+        for rule in self._rules.values():
+            degree = rule.condition.match(state, partial=partial)
+            if degree >= min_degree:
+                results.append(QueryResult(rule=rule, degree=degree))
+        results.sort(key=lambda r: (-r.score, r.rule.name))
+        return results[:top] if top is not None else results
+
+    def best_action(
+        self, state: Mapping[str, Any], *, partial: bool = True
+    ) -> Mapping[str, Any] | None:
+        """Action of the best-matching rule, or ``None`` if nothing matches."""
+        results = self.query(state, partial=partial, top=1)
+        return results[0].rule.action if results else None
+
+    def merged_action(
+        self, state: Mapping[str, Any], *, partial: bool = True
+    ) -> dict[str, Any]:
+        """Union of all matching rules' actions, higher scores overriding.
+
+        Rules are applied in ascending score order, so the best-matching /
+        highest-priority rule wins every conflicting key while
+        complementary keys (e.g. a communication-mechanism override on top
+        of a partitioner recommendation) accumulate.
+        """
+        merged: dict[str, Any] = {}
+        for result in reversed(self.query(state, partial=partial)):
+            merged.update(result.rule.action)
+        return merged

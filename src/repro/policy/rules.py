@@ -1,0 +1,87 @@
+"""Policy rules: conditions over state attributes → configuration actions.
+
+A rule encodes one heuristic of the kind the paper sketches — "If on a
+networked cluster and AMR application is in octant VI use latency-tolerant
+communication" — as a :class:`Condition` (exact values and/or fuzzy sets
+over named attributes) plus an action dictionary and a priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.policy.fuzzy import FuzzySet
+
+__all__ = ["Condition", "Rule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """Conjunction of attribute constraints.
+
+    ``exact`` entries must match by equality; ``fuzzy`` entries contribute
+    a membership degree.  The condition's match degree against a state is
+    the *minimum* over all constraints (standard fuzzy AND); attributes
+    missing from the state make the rule inapplicable (degree 0) unless
+    the query is partial — see :meth:`match`.
+    """
+
+    exact: Mapping[str, Any] = field(default_factory=dict)
+    fuzzy: Mapping[str, FuzzySet] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        overlap = set(self.exact) & set(self.fuzzy)
+        if overlap:
+            raise ValueError(
+                f"attributes {sorted(overlap)} appear in both exact and fuzzy"
+            )
+        if not self.exact and not self.fuzzy:
+            raise ValueError("condition must constrain at least one attribute")
+
+    @property
+    def attributes(self) -> set[str]:
+        """All attribute names the condition constrains."""
+        return set(self.exact) | set(self.fuzzy)
+
+    def match(self, state: Mapping[str, Any], *, partial: bool = False) -> float:
+        """Degree in [0, 1] to which ``state`` satisfies the condition.
+
+        With ``partial=True`` (associative queries), constraints on
+        attributes absent from the state are skipped rather than failing —
+        agents may query with whatever subset of the state they hold.
+        """
+        degrees: list[float] = []
+        for attr, expected in self.exact.items():
+            if attr not in state:
+                if partial:
+                    continue
+                return 0.0
+            degrees.append(1.0 if state[attr] == expected else 0.0)
+        for attr, fset in self.fuzzy.items():
+            if attr not in state:
+                if partial:
+                    continue
+                return 0.0
+            degrees.append(fset(float(state[attr])))
+        if not degrees:
+            # Partial query constrained nothing the state mentions.
+            return 0.0
+        return min(degrees)
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One policy: condition → action, with a priority for tie-breaking."""
+
+    name: str
+    condition: Condition
+    action: Mapping[str, Any]
+    priority: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("rule needs a non-empty name")
+        if not self.action:
+            raise ValueError(f"rule {self.name!r} has an empty action")

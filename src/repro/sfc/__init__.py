@@ -1,0 +1,22 @@
+"""Space-filling curves for SAMR partitioning.
+
+Every partitioner in the paper's suite except pure geometric bisection is
+built on an inverse space-filling curve: the 3-D base grid is linearized
+along a locality-preserving curve and the 1-D sequence is then partitioned.
+This package provides vectorized Morton (Z-order) and Hilbert curves and
+the linearization helpers the partitioners consume.
+"""
+
+from repro.sfc.morton import morton_key, morton_decode
+from repro.sfc.hilbert import hilbert_key, hilbert_decode
+from repro.sfc.linearize import curve_order, curve_rank_of_cells, CURVES
+
+__all__ = [
+    "morton_key",
+    "morton_decode",
+    "hilbert_key",
+    "hilbert_decode",
+    "curve_order",
+    "curve_rank_of_cells",
+    "CURVES",
+]

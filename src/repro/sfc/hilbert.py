@@ -1,0 +1,84 @@
+"""Hilbert curve in 3-D via Skilling's transpose algorithm.
+
+Reference: J. Skilling, "Programming the Hilbert curve", AIP Conf. Proc.
+707 (2004).  The algorithm converts between coordinates and the "transpose"
+form of the Hilbert index with O(bits) bitwise passes; every pass is a
+vectorized numpy expression, so encoding a whole base grid is fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sfc.morton import interleave3, deinterleave3, _check_bits
+
+__all__ = ["hilbert_key", "hilbert_decode"]
+
+
+def hilbert_key(x: np.ndarray, y: np.ndarray, z: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert index of integer coordinates (each must fit in ``bits`` bits)."""
+    _check_bits(bits)
+    coords = [np.array(c, dtype=np.int64, copy=True) for c in (x, y, z)]
+    for name, c in zip("xyz", coords):
+        if c.size and (c.min() < 0 or c.max() >= (1 << bits)):
+            raise ValueError(f"{name} coordinates out of range for {bits} bits")
+    X = list(np.broadcast_arrays(*coords))
+    X = [np.array(c, dtype=np.int64, copy=True) for c in X]
+    n = 3
+
+    # Inverse undo excess work (Skilling: AxestoTranspose).
+    M = np.int64(1) << (bits - 1)
+    Q = M
+    while Q > 1:
+        P = Q - 1
+        for i in range(n):
+            hit = (X[i] & Q) != 0
+            # invert low bits of X[0] where axis bit set
+            X[0] ^= np.where(hit, P, 0).astype(np.int64)
+            # exchange low bits of X[0] and X[i] elsewhere
+            t = np.where(~hit, (X[0] ^ X[i]) & P, 0).astype(np.int64)
+            X[0] ^= t
+            X[i] ^= t
+        Q >>= 1
+
+    # Gray encode.
+    for i in range(1, n):
+        X[i] ^= X[i - 1]
+    t = np.zeros(X[0].shape, dtype=np.int64)
+    Q = M
+    while Q > 1:
+        t ^= np.where((X[n - 1] & Q) != 0, Q - 1, 0).astype(np.int64)
+        Q >>= 1
+    for i in range(n):
+        X[i] ^= t
+
+    # The transpose interleaves with axis 0 most significant.
+    return interleave3(X[0], X[1], X[2], bits)
+
+
+def hilbert_decode(key: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coordinates of a Hilbert index (inverse of :func:`hilbert_key`)."""
+    _check_bits(bits)
+    X = list(deinterleave3(np.asarray(key, dtype=np.int64), bits))
+    n = 3
+
+    # Gray decode by H ^ (H / 2).
+    t = X[n - 1] >> 1
+    for i in range(n - 1, 0, -1):
+        X[i] ^= X[i - 1]
+    X[0] ^= t
+
+    # Undo excess work (Skilling: TransposetoAxes).
+    M = np.int64(2) << (bits - 1)
+    Q = np.int64(2)
+    while Q != M:
+        P = Q - 1
+        for i in range(n - 1, -1, -1):
+            hit = (X[i] & Q) != 0
+            X[0] ^= np.where(hit, P, 0).astype(np.int64)
+            t = np.where(~hit, (X[0] ^ X[i]) & P, 0).astype(np.int64)
+            X[0] ^= t
+            X[i] ^= t
+        Q <<= 1
+
+    return X[0], X[1], X[2]

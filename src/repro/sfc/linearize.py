@@ -1,0 +1,56 @@
+"""Linearization of 3-D grids along space-filling curves."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sfc.hilbert import hilbert_key
+from repro.sfc.morton import morton_key
+
+__all__ = ["CURVES", "curve_order", "curve_rank_of_cells"]
+
+CURVES: dict[str, Callable] = {
+    "morton": morton_key,
+    "hilbert": hilbert_key,
+}
+
+
+def _bits_for(shape: Sequence[int]) -> int:
+    top = max(shape)
+    return max(1, int(np.ceil(np.log2(top))) if top > 1 else 1)
+
+
+def _grid_coords(shape: Sequence[int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    sx, sy, sz = shape
+    x, y, z = np.meshgrid(
+        np.arange(sx), np.arange(sy), np.arange(sz), indexing="ij"
+    )
+    return x.reshape(-1), y.reshape(-1), z.reshape(-1)
+
+
+def curve_order(shape: Sequence[int], curve: str = "hilbert") -> np.ndarray:
+    """Permutation of flat C-order cell indices sorted along ``curve``.
+
+    ``order[r]`` is the flat index of the ``r``-th cell along the curve.
+    The sort is stable, so cells sharing a key (impossible for true SFC
+    keys, but kept for safety) retain C order.
+    """
+    if curve not in CURVES:
+        raise ValueError(f"unknown curve {curve!r}; choose from {sorted(CURVES)}")
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3 or any(s < 1 for s in shape):
+        raise ValueError(f"shape must be 3 positive extents, got {shape!r}")
+    bits = _bits_for(shape)
+    x, y, z = _grid_coords(shape)
+    keys = CURVES[curve](x, y, z, bits)
+    return np.argsort(keys, kind="stable")
+
+
+def curve_rank_of_cells(shape: Sequence[int], curve: str = "hilbert") -> np.ndarray:
+    """Inverse permutation: flat C-order cell index → rank along the curve."""
+    order = curve_order(shape, curve)
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size)
+    return rank

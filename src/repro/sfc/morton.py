@@ -1,0 +1,61 @@
+"""Morton (Z-order) curve, vectorized over numpy integer arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morton_key", "morton_decode", "interleave3", "deinterleave3"]
+
+_MAX_BITS = 21  # 3 * 21 = 63 bits fits an int64 key
+
+
+def _check_bits(bits: int) -> None:
+    if not (1 <= bits <= _MAX_BITS):
+        raise ValueError(f"bits must be in [1, {_MAX_BITS}], got {bits}")
+
+
+def interleave3(x: np.ndarray, y: np.ndarray, z: np.ndarray, bits: int) -> np.ndarray:
+    """Interleave three ``bits``-wide coordinates into one key.
+
+    Bit layout per input bit ``j`` (0 = LSB): ``x`` lands at ``3j + 2``,
+    ``y`` at ``3j + 1``, ``z`` at ``3j`` — so ``x`` is the most significant
+    axis, matching the transpose convention of the Hilbert encoder.
+    """
+    _check_bits(bits)
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    z = np.asarray(z, dtype=np.int64)
+    key = np.zeros(np.broadcast(x, y, z).shape, dtype=np.int64)
+    for j in range(bits):
+        key |= ((x >> j) & 1) << (3 * j + 2)
+        key |= ((y >> j) & 1) << (3 * j + 1)
+        key |= ((z >> j) & 1) << (3 * j)
+    return key
+
+
+def deinterleave3(key: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`interleave3`."""
+    _check_bits(bits)
+    key = np.asarray(key, dtype=np.int64)
+    x = np.zeros(key.shape, dtype=np.int64)
+    y = np.zeros(key.shape, dtype=np.int64)
+    z = np.zeros(key.shape, dtype=np.int64)
+    for j in range(bits):
+        x |= ((key >> (3 * j + 2)) & 1) << j
+        y |= ((key >> (3 * j + 1)) & 1) << j
+        z |= ((key >> (3 * j)) & 1) << j
+    return x, y, z
+
+
+def morton_key(x: np.ndarray, y: np.ndarray, z: np.ndarray, bits: int) -> np.ndarray:
+    """Morton key of integer coordinates (each must fit in ``bits`` bits)."""
+    for name, c in (("x", x), ("y", y), ("z", z)):
+        arr = np.asarray(c)
+        if arr.size and (arr.min() < 0 or arr.max() >= (1 << bits)):
+            raise ValueError(f"{name} coordinates out of range for {bits} bits")
+    return interleave3(x, y, z, bits)
+
+
+def morton_decode(key: np.ndarray, bits: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Coordinates of a Morton key (inverse of :func:`morton_key`)."""
+    return deinterleave3(key, bits)

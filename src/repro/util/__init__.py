@@ -1,0 +1,32 @@
+"""Shared small utilities: seeded RNG handling, validation, statistics."""
+
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_shape3,
+)
+from repro.util.stats import (
+    load_imbalance,
+    max_load_imbalance_pct,
+    normalize,
+    weighted_sum,
+    relative_error,
+    percentage_improvement,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_shape3",
+    "load_imbalance",
+    "max_load_imbalance_pct",
+    "normalize",
+    "weighted_sum",
+    "relative_error",
+    "percentage_improvement",
+]

@@ -1,0 +1,35 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the package accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps
+experiments reproducible: a single integer seed at the top of a benchmark
+fully determines the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rng"]
+
+
+def ensure_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed_or_rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh nondeterministic generator; an ``int`` seeds a
+    new PCG64 generator; an existing generator is returned unchanged.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Child streams are statistically independent of each other and of the
+    parent, so per-node or per-agent noise processes do not correlate.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

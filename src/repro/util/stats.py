@@ -1,0 +1,90 @@
+"""Small statistical helpers used across partitioning and evaluation code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "load_imbalance",
+    "max_load_imbalance_pct",
+    "normalize",
+    "weighted_sum",
+    "relative_error",
+    "percentage_improvement",
+]
+
+
+def load_imbalance(loads: np.ndarray) -> float:
+    """Classic imbalance ratio ``max/mean`` of per-processor loads.
+
+    Returns 1.0 for a perfectly balanced non-empty assignment.  An all-zero
+    load vector is defined as balanced (ratio 1.0).
+    """
+    loads = np.asarray(loads, dtype=float)
+    if loads.size == 0:
+        raise ValueError("loads must be non-empty")
+    mean = loads.mean()
+    if mean == 0.0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def max_load_imbalance_pct(loads: np.ndarray) -> float:
+    """Maximum load imbalance as a percentage over the mean.
+
+    This is the metric reported in Table 4 of the paper:
+    ``100 * (max - mean) / mean``.
+    """
+    return 100.0 * (load_imbalance(loads) - 1.0)
+
+
+def normalize(values: np.ndarray) -> np.ndarray:
+    """Scale a non-negative vector so its maximum is 1.
+
+    The paper's capacity calculator normalizes each NWS-reported attribute
+    (available CPU, memory, bandwidth) before weighting.  An all-zero vector
+    normalizes to all zeros rather than dividing by zero.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size and (values < 0).any():
+        raise ValueError("normalize expects non-negative values")
+    top = values.max(initial=0.0)
+    if top == 0.0:
+        return np.zeros_like(values)
+    return values / top
+
+
+def weighted_sum(parts: dict[str, np.ndarray], weights: dict[str, float]) -> np.ndarray:
+    """Weighted sum of named normalized attribute vectors.
+
+    Implements the relative-capacity formula of Section 4.6:
+    ``C_k = w_cpu * P_k + w_mem * M_k + w_bw * B_k`` with weights summing to 1.
+    """
+    if set(parts) != set(weights):
+        raise ValueError(
+            f"attribute names {sorted(parts)} do not match weight names {sorted(weights)}"
+        )
+    total_w = sum(weights.values())
+    if not np.isclose(total_w, 1.0):
+        raise ValueError(f"weights must sum to 1, got {total_w}")
+    out = None
+    for name, vec in parts.items():
+        term = weights[name] * np.asarray(vec, dtype=float)
+        out = term if out is None else out + term
+    if out is None:
+        raise ValueError("weighted_sum requires at least one attribute")
+    return out
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """Percentage error ``100 * |predicted - measured| / |measured|`` (Table 1)."""
+    if measured == 0:
+        raise ValueError("measured value must be nonzero for relative error")
+    return 100.0 * abs(predicted - measured) / abs(measured)
+
+
+def percentage_improvement(baseline: float, improved: float) -> float:
+    """Percentage improvement of ``improved`` over ``baseline`` (Tables 4, 5)."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return 100.0 * (baseline - improved) / baseline

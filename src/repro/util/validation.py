@@ -1,0 +1,35 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["check_positive", "check_non_negative", "check_in_range", "check_shape3"]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_shape3(name: str, value: Sequence[int]) -> tuple[int, int, int]:
+    """Validate a 3-component positive integer extent and return it as a tuple."""
+    if len(value) != 3:
+        raise ValueError(f"{name} must have 3 components, got {value!r}")
+    out = tuple(int(v) for v in value)
+    if any(v <= 0 for v in out):
+        raise ValueError(f"{name} components must be positive, got {value!r}")
+    return out  # type: ignore[return-value]

@@ -1,0 +1,49 @@
+"""Shared fixtures: small reference hierarchies, traces and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.regrid import Regridder, RegridPolicy
+from repro.amr.trace import AdaptationTrace, Snapshot
+from repro.apps.rm3d import RM3D, RM3DConfig
+from repro.apps.base import generate_trace
+from repro.gridsys.cluster import linux_cluster, sp2_blue_horizon
+
+
+@pytest.fixture(scope="session")
+def small_domain() -> Box:
+    return Box((0, 0, 0), (32, 16, 16))
+
+
+@pytest.fixture(scope="session")
+def small_hierarchy(small_domain):
+    """A 3-level hierarchy refined around one off-center blob."""
+    err = np.zeros(small_domain.shape)
+    err[6:14, 4:10, 4:10] = 0.6
+    err[8:12, 5:8, 5:8] = 0.95
+    rg = Regridder(small_domain, RegridPolicy(thresholds=(0.3, 0.8)))
+    return rg.regrid(err)
+
+
+@pytest.fixture(scope="session")
+def small_rm3d_trace() -> AdaptationTrace:
+    """A reduced RM3D trace: small domain, short run (fast in CI)."""
+    cfg = RM3DConfig(shape=(64, 16, 16), interface_x=20.0, shock_entry_snapshot=6.0,
+                     shock_speed=3.0, reshock_snapshot=30.0, num_seed_clumps=5,
+                     num_mixing_structures=10)
+    app = RM3D(cfg)
+    policy = RegridPolicy(thresholds=(0.2, 0.45, 0.7), regrid_interval=4)
+    return generate_trace(app, policy, 160)
+
+
+@pytest.fixture()
+def sp2_small():
+    return sp2_blue_horizon(8)
+
+
+@pytest.fixture()
+def loaded_cluster():
+    return linux_cluster(8, seed=7)

@@ -1,0 +1,296 @@
+"""Tests for the CATALINA agent system."""
+
+import pytest
+
+from repro.agents import (
+    ApplicationDelegatedManager,
+    ComponentAgent,
+    ComponentState,
+    ManagedComponent,
+    ManagementComputingSystem,
+    ManagementEditor,
+    Message,
+    MessageCenter,
+    MigrateActuator,
+    Requirement,
+    SuspendActuator,
+    ResumeActuator,
+    CheckpointActuator,
+    Template,
+    TemplateRegistry,
+    builtin_templates,
+)
+from repro.gridsys import FailureEvent, linux_cluster, sp2_blue_horizon
+
+
+class TestMessageCenter:
+    def test_register_send_receive(self):
+        mc = MessageCenter()
+        mc.register("a")
+        mc.register("b")
+        mc.send(Message(sender="a", dest="b", topic="hello", payload={"x": 1}))
+        msg = mc.receive("b")
+        assert msg.topic == "hello" and msg.payload["x"] == 1
+        assert mc.receive("b") is None
+
+    def test_duplicate_port_rejected(self):
+        mc = MessageCenter()
+        mc.register("a")
+        with pytest.raises(ValueError):
+            mc.register("a")
+
+    def test_send_to_unknown_port(self):
+        mc = MessageCenter()
+        mc.register("a")
+        with pytest.raises(KeyError):
+            mc.send(Message(sender="a", dest="nope", topic="t"))
+
+    def test_publish_subscribe_fanout(self):
+        mc = MessageCenter()
+        for name in ("a", "b", "c"):
+            mc.register(name)
+        mc.subscribe("b", "events")
+        mc.subscribe("c", "events")
+        n = mc.publish("a", "events", {"v": 2})
+        assert n == 2
+        assert mc.receive("b").payload["v"] == 2
+        assert mc.receive("c").payload["v"] == 2
+        assert mc.receive("a") is None
+
+    def test_unregister_clears_subscriptions(self):
+        mc = MessageCenter()
+        mc.register("a")
+        mc.register("b")
+        mc.subscribe("b", "t")
+        mc.unregister("b")
+        assert mc.publish("a", "t", {}) == 0
+
+    def test_drain(self):
+        mc = MessageCenter()
+        mc.register("a")
+        for i in range(3):
+            mc.send(Message(sender="x", dest="a", topic=f"t{i}"))
+        assert len(mc.drain("a")) == 3
+
+    def test_message_ordering_seq(self):
+        m1 = Message(sender="a", dest="b", topic="t")
+        m2 = Message(sender="a", dest="b", topic="t")
+        assert m2.seq > m1.seq
+
+
+class TestComponent:
+    def test_progress_and_done(self, sp2_small):
+        c = ManagedComponent("w", sp2_small, node_id=0, total_work=2.0e6)
+        c.advance(0.0, 1.0)
+        assert 0 < c.progress <= 2.0e6
+        while not c.done:
+            c.advance(0.0, 1.0)
+        assert c.state is ComponentState.DONE
+        assert c.advance(0.0, 1.0) == 0.0
+
+    def test_failure_detection(self, sp2_small):
+        sp2_small.failures.add(FailureEvent(1, 0.0, 100.0))
+        c = ManagedComponent("w", sp2_small, node_id=1, total_work=1e9)
+        c.advance(1.0, 1.0)
+        assert c.state is ComponentState.FAILED
+
+    def test_validation(self, sp2_small):
+        with pytest.raises(ValueError):
+            ManagedComponent("w", sp2_small, node_id=99, total_work=1.0)
+        with pytest.raises(ValueError):
+            ManagedComponent("w", sp2_small, node_id=0, total_work=0.0)
+
+
+class TestActuators:
+    def _component(self, cluster):
+        return ManagedComponent("w", cluster, node_id=0, total_work=1e9)
+
+    def test_suspend_resume(self, sp2_small):
+        c = self._component(sp2_small)
+        assert SuspendActuator(c).actuate(0.0)
+        assert c.state is ComponentState.SUSPENDED
+        assert c.advance(0.0, 1.0) == 0.0
+        assert ResumeActuator(c).actuate(0.0)
+        assert c.state is ComponentState.RUNNING
+        assert not ResumeActuator(c).actuate(0.0)  # already running
+
+    def test_checkpoint_and_failed_migration_restores(self, sp2_small):
+        c = self._component(sp2_small)
+        c.advance(0.0, 2.0)
+        CheckpointActuator(c).actuate(2.0)
+        saved = c.checkpoint
+        c.advance(2.0, 2.0)
+        c.state = ComponentState.FAILED
+        assert MigrateActuator(c).actuate(4.0, target=1)
+        assert c.node_id == 1
+        assert c.progress == saved
+        assert c.state is ComponentState.RUNNING
+        assert c.migrations == 1
+
+    def test_live_migration_keeps_progress(self, sp2_small):
+        c = self._component(sp2_small)
+        c.advance(0.0, 3.0)
+        before = c.progress
+        assert MigrateActuator(c).actuate(3.0, target=2)
+        assert c.progress == before
+
+    def test_migrate_to_dead_node_refused(self, sp2_small):
+        sp2_small.failures.add(FailureEvent(3, 0.0, 100.0))
+        c = self._component(sp2_small)
+        assert not MigrateActuator(c).actuate(1.0, target=3)
+
+    def test_migrate_requires_target(self, sp2_small):
+        c = self._component(sp2_small)
+        with pytest.raises(ValueError):
+            MigrateActuator(c).actuate(0.0)
+
+
+class TestComponentAgent:
+    def test_interrogation(self, sp2_small):
+        mc = MessageCenter()
+        c = ManagedComponent("w", sp2_small, node_id=0, total_work=1e7)
+        ca = ComponentAgent(c, mc)
+        readings = ca.interrogate(0.0)
+        assert set(readings) == {"throughput", "progress", "healthy"}
+
+    def test_failure_event_published(self, sp2_small):
+        sp2_small.failures.add(FailureEvent(0, 0.0, 100.0))
+        mc = MessageCenter()
+        mc.register("observer")
+        mc.subscribe("observer", "component-failed")
+        c = ManagedComponent("w", sp2_small, node_id=0, total_work=1e7)
+        ca = ComponentAgent(c, mc)
+        c.advance(1.0, 1.0)  # transitions to FAILED
+        ca.tick(1.0)
+        msg = mc.receive("observer")
+        assert msg is not None and msg.topic == "component-failed"
+
+    def test_requirement_violation_published(self, sp2_small):
+        mc = MessageCenter()
+        mc.register("observer")
+        mc.subscribe("observer", "requirement-violated.throughput")
+        c = ManagedComponent("w", sp2_small, node_id=0, total_work=1e12)
+        ca = ComponentAgent(
+            c, mc, requirements=[Requirement("throughput", 1e20)]
+        )
+        c.advance(0.0, 1.0)
+        ca.tick(0.0)
+        assert mc.receive("observer") is not None
+
+    def test_directive_actuation_with_ack(self, sp2_small):
+        mc = MessageCenter()
+        mc.register("boss")
+        c = ManagedComponent("w", sp2_small, node_id=0, total_work=1e9)
+        ca = ComponentAgent(c, mc)
+        mc.send(
+            Message(
+                sender="boss",
+                dest=ca.port.name,
+                topic="actuate",
+                payload={"actuator": "suspend"},
+            )
+        )
+        ca.tick(0.0)
+        assert c.state is ComponentState.SUSPENDED
+        ack = mc.receive("boss")
+        assert ack.topic == "actuate-ack" and ack.payload["ok"]
+
+
+class TestTemplates:
+    def test_satisfaction(self):
+        t = Template(name="x", provides={"performance": 1.0, "fault_tolerance": 0.5})
+        assert t.satisfies({"performance": 0.8})
+        assert not t.satisfies({"performance": 2.0})
+        assert not t.satisfies({"security": 0.1})
+
+    def test_discovery_best_fit_first(self):
+        reg = builtin_templates()
+        # Only performance-managed provides performance >= 0.8.
+        matches = reg.discover({"performance": 0.8})
+        assert [m.name for m in matches] == ["performance-managed"]
+        # At a low requirement level, the least over-provisioned template
+        # (fault-tolerant provides performance 0.5) ranks first.
+        low = reg.discover({"performance": 0.4})
+        assert low[0].name == "fault-tolerant"
+
+    def test_third_party_registration(self):
+        reg = builtin_templates()
+        reg.register(Template(name="gold", provides={"performance": 5.0},
+                              vendor="acme"))
+        assert reg.discover({"performance": 3.0})[0].name == "gold"
+        reg.unregister("gold")
+        assert reg.discover({"performance": 3.0}) == []
+
+    def test_duplicate_rejected(self):
+        reg = TemplateRegistry()
+        reg.register(Template(name="a", provides={}))
+        with pytest.raises(ValueError):
+            reg.register(Template(name="a", provides={}))
+
+
+class TestAME:
+    def test_builder(self):
+        spec = (
+            ManagementEditor("app")
+            .add_component("c1", 10.0)
+            .add_component("c2", 20.0)
+            .require("performance", 1.0)
+            .manage("performance", "migration")
+            .build()
+        )
+        assert spec.components == ("c1", "c2")
+        assert spec.requirements["performance"] == 1.0
+        assert spec.management["performance"] == "migration"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManagementEditor("")
+        ed = ManagementEditor("app").add_component("c", 1.0)
+        with pytest.raises(ValueError):
+            ed.add_component("c", 2.0)
+        with pytest.raises(ValueError):
+            ed.add_component("d", 0.0)
+        with pytest.raises(ValueError):
+            ManagementEditor("x").build()
+
+
+class TestMCSIntegration:
+    def test_environment_completes_work(self, sp2_small):
+        spec = (
+            ManagementEditor("app")
+            .add_component("c1", 2e6)
+            .require("performance", 1.0)
+            .build()
+        )
+        env = ManagementComputingSystem(sp2_small).build_environment(spec)
+        env.run(100.0)
+        assert env.done
+
+    def test_unsatisfiable_requirements(self, sp2_small):
+        spec = (
+            ManagementEditor("app")
+            .add_component("c1", 1.0)
+            .require("security", 99.0)
+            .build()
+        )
+        with pytest.raises(LookupError):
+            ManagementComputingSystem(sp2_small).build_environment(spec)
+
+    def test_failure_triggers_adm_migration(self):
+        cluster = linux_cluster(4, seed=1)
+        cluster.failures.add(FailureEvent(0, 3.0, 1e9))
+        spec = (
+            ManagementEditor("app")
+            .add_component("c1", 3e7)
+            .require("performance", 1.0)
+            .build()
+        )
+        mcs = ManagementComputingSystem(cluster)
+        env = mcs.build_environment(spec)
+        # Force initial placement on the doomed node for determinism.
+        env.components[0].node_id = 0
+        env.run(500.0)
+        assert env.done
+        assert env.components[0].migrations >= 1
+        assert env.components[0].node_id != 0
+        assert any("migrate" in d[2] for d in env.adm.decisions)

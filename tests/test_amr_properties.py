@@ -1,0 +1,72 @@
+"""Property-based tests over the AMR pipeline: regrid → workload → units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amr.box import Box
+from repro.amr.regrid import Regridder, RegridPolicy
+from repro.amr.workload import composite_load_map
+from repro.partitioners import build_units
+from repro.util.rng import ensure_rng
+
+
+def _random_error_field(rng, shape):
+    """A few random bumps, normalized to [0, 1]."""
+    field = np.zeros(shape)
+    ext = np.asarray(shape, dtype=float)
+    for _ in range(int(rng.integers(1, 5))):
+        center = rng.uniform(0.1, 0.9, 3) * ext
+        sigma = rng.uniform(1.5, 4.0)
+        x, y, z = np.ogrid[: shape[0], : shape[1], : shape[2]]
+        r2 = (
+            ((x + 0.5 - center[0]) / sigma) ** 2
+            + ((y + 0.5 - center[1]) / sigma) ** 2
+            + ((z + 0.5 - center[2]) / sigma) ** 2
+        )
+        field = np.maximum(field, rng.uniform(0.4, 1.0) * np.exp(-0.5 * r2))
+    return np.clip(field, 0.0, 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_regrid_pipeline_invariants(seed):
+    """For random error fields: the hierarchy is properly nested, its
+    refined mask covers every flagged cell, the composite load map total
+    equals the hierarchy load, and composite units conserve it at every
+    granularity."""
+    rng = ensure_rng(seed)
+    shape = tuple(int(v) for v in rng.integers(12, 28, 3))
+    domain = Box.from_shape(shape)
+    policy = RegridPolicy(thresholds=(0.3, 0.7), buffer_cells=1)
+    regridder = Regridder(domain, policy)
+    err = _random_error_field(rng, shape)
+
+    h = regridder.regrid(err)
+    assert h.is_properly_nested()
+
+    mask = h.refined_mask()
+    assert mask[err > 0.3].all(), "flagged cells must be refined"
+
+    wm = composite_load_map(h)
+    assert wm.total == pytest.approx(h.load_per_coarse_step(), rel=1e-9)
+
+    for g in (1, 2, 3):
+        units = build_units(wm, granularity=g)
+        assert units.total_load == pytest.approx(wm.total, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_regrid_deterministic(seed):
+    """Same error field → structurally identical hierarchy."""
+    rng = ensure_rng(seed)
+    shape = (16, 12, 12)
+    err = _random_error_field(rng, shape)
+    policy = RegridPolicy(thresholds=(0.35, 0.75))
+    a = Regridder(Box.from_shape(shape), policy).regrid(err)
+    b = Regridder(Box.from_shape(shape), policy).regrid(err)
+    assert a.num_levels == b.num_levels
+    assert a.total_cells == b.total_cells
+    for la, lb in zip(a.levels, b.levels):
+        assert [p.box for p in la] == [p.box for p in lb]

@@ -1,0 +1,149 @@
+"""Tests for the synthetic application drivers."""
+
+import numpy as np
+import pytest
+
+from repro.amr.regrid import RegridPolicy
+from repro.apps import (
+    GalaxyConfig,
+    GalaxyFormation,
+    RM3D,
+    RM3DConfig,
+    Supernova,
+    SupernovaConfig,
+    generate_trace,
+)
+from repro.apps.fields import combine, gaussian_blob, grid_coords, planar_sheet, slab
+
+
+class TestFields:
+    def test_gaussian_blob_peak_location(self):
+        # Cell centers sit at half-integer coordinates; center the blob on
+        # the cell (8, 8, 8) exactly.
+        f = gaussian_blob((16, 16, 16), (8.5, 8.5, 8.5), 2.0)
+        assert f.max() == pytest.approx(1.0, abs=1e-9)
+        assert np.unravel_index(f.argmax(), f.shape) == (8, 8, 8)
+
+    def test_gaussian_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_blob((8, 8, 8), (4, 4, 4), 0.0)
+
+    def test_planar_sheet_profile(self):
+        f = planar_sheet((16, 8, 8), position=8.0, width=1.0)
+        assert f[8, :, :].min() > 0.8
+        assert f[0, :, :].max() < 1e-5
+
+    def test_planar_sheet_outside_domain(self):
+        f = planar_sheet((16, 8, 8), position=100.0, width=1.0)
+        assert f.max() < 1e-9
+
+    def test_slab(self):
+        f = slab((32, 4, 4), lo=10, hi=20, edge=0.5)
+        assert f[15, 0, 0] > 0.9
+        assert f[2, 0, 0] < 0.05
+
+    def test_slab_bad_bounds(self):
+        with pytest.raises(ValueError):
+            slab((8, 8, 8), lo=5, hi=5)
+
+    def test_combine_clips(self):
+        a = np.full((2, 2, 2), 0.8)
+        b = np.full((2, 2, 2), 1.7)
+        out = combine(a, b)
+        assert (out == 1.0).all()
+
+    def test_combine_empty(self):
+        with pytest.raises(ValueError):
+            combine()
+
+
+class TestRM3D:
+    def test_error_field_shape_and_range(self):
+        app = RM3D()
+        f = app.error_field(0)
+        assert f.shape == (128, 32, 32)
+        assert 0.0 <= f.min() and f.max() <= 1.0
+
+    def test_deterministic(self):
+        a, b = RM3D(), RM3D()
+        assert np.array_equal(a.error_field(100), b.error_field(100))
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            RM3D().error_field(-4)
+
+    def test_load_field_bounded(self):
+        f = RM3D().load_field(40)
+        assert f.min() >= 1.0 and f.max() <= 2.0
+
+    def test_shock_moves(self):
+        app = RM3D()
+        cfg = app.config
+        t0 = int(cfg.shock_entry_snapshot + 1) * cfg.regrid_interval
+        f0 = app.error_field(t0)
+        f1 = app.error_field(t0 + 2 * cfg.regrid_interval)
+        # x-profile center of mass advances
+        x0 = (f0.sum(axis=(1, 2)) * np.arange(128)).sum() / f0.sum()
+        x1 = (f1.sum(axis=(1, 2)) * np.arange(128)).sum() / f1.sum()
+        assert x1 > x0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RM3DConfig(shape=(4, 4, 4))
+        with pytest.raises(ValueError):
+            RM3DConfig(interface_x=500.0)
+        with pytest.raises(ValueError):
+            RM3DConfig(shock_speed=0.0)
+
+
+class TestGalaxy:
+    def test_collapse_concentrates(self):
+        app = GalaxyFormation(GalaxyConfig(shape=(32, 32, 32), num_clumps=6,
+                                           collapse_steps=100))
+        early = app.error_field(0)
+        late = app.error_field(100)
+        # Refined (high error) region concentrates toward the barycenter.
+        def spread(f):
+            idx = np.argwhere(f > 0.4)
+            return idx.std(axis=0).sum() if len(idx) else 0.0
+        assert spread(late) < spread(early)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GalaxyConfig(num_clumps=1)
+
+
+class TestSupernova:
+    def test_shell_expands(self):
+        app = Supernova(SupernovaConfig(shape=(32, 32, 32)))
+        r0 = app._radius(10)
+        r1 = app._radius(50)
+        assert r1 > r0
+        f = app.error_field(50)
+        assert f.max() > 0.5
+
+    def test_asymmetry_range(self):
+        with pytest.raises(ValueError):
+            SupernovaConfig(asymmetry=1.5)
+
+
+class TestGenerateTrace:
+    def test_snapshot_cadence(self, small_rm3d_trace):
+        steps = small_rm3d_trace.steps()
+        assert steps[0] == 0
+        assert all(b - a == 4 for a, b in zip(steps, steps[1:]))
+        assert len(small_rm3d_trace) == 40
+
+    def test_meta_recorded(self, small_rm3d_trace):
+        meta = small_rm3d_trace.meta
+        assert meta["app"] == "rm3d"
+        assert meta["regrid_interval"] == 4
+        assert meta["num_coarse_steps"] == 160
+
+    def test_all_snapshots_nested(self, small_rm3d_trace):
+        for s in list(small_rm3d_trace)[::8]:
+            assert s.hierarchy.is_properly_nested()
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            generate_trace(RM3D(), RegridPolicy(), 0)

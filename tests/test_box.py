@@ -1,0 +1,184 @@
+"""Unit and property tests for the integer box algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.amr.box import Box
+
+
+def boxes(max_coord: int = 20, max_extent: int = 12):
+    """Hypothesis strategy for valid boxes."""
+    lo = st.tuples(*[st.integers(-max_coord, max_coord)] * 3)
+    ext = st.tuples(*[st.integers(1, max_extent)] * 3)
+    return st.builds(
+        lambda l, e: Box(l, tuple(a + b for a, b in zip(l, e))), lo, ext
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        b = Box((0, 0, 0), (4, 3, 2))
+        assert b.shape == (4, 3, 2)
+        assert b.num_cells == 24
+
+    def test_from_shape(self):
+        b = Box.from_shape((5, 5, 5), origin=(1, 2, 3))
+        assert b.lo == (1, 2, 3)
+        assert b.hi == (6, 7, 8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (0, 3, 3))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Box((5, 0, 0), (4, 3, 3))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1))
+
+    def test_immutable(self):
+        b = Box((0, 0, 0), (1, 1, 1))
+        with pytest.raises(Exception):
+            b.lo = (1, 1, 1)
+
+
+class TestGeometry:
+    def test_centroid(self):
+        b = Box((0, 0, 0), (4, 4, 4))
+        assert b.centroid == (2.0, 2.0, 2.0)
+
+    def test_surface_area(self):
+        assert Box((0, 0, 0), (2, 3, 4)).surface_area() == 2 * (6 + 12 + 8)
+
+    def test_contains_point(self):
+        b = Box((0, 0, 0), (2, 2, 2))
+        assert b.contains_point((0, 0, 0))
+        assert b.contains_point((1, 1, 1))
+        assert not b.contains_point((2, 0, 0))
+
+    def test_contains_box(self):
+        outer = Box((0, 0, 0), (10, 10, 10))
+        inner = Box((2, 2, 2), (5, 5, 5))
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+
+class TestSetOps:
+    def test_intersection_overlap(self):
+        a = Box((0, 0, 0), (4, 4, 4))
+        b = Box((2, 2, 2), (6, 6, 6))
+        inter = a.intersection(b)
+        assert inter == Box((2, 2, 2), (4, 4, 4))
+
+    def test_intersection_disjoint(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        b = Box((3, 3, 3), (5, 5, 5))
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_touching_boxes_do_not_intersect(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        b = Box((2, 0, 0), (4, 2, 2))
+        assert a.intersection(b) is None
+
+    def test_bounding_union(self):
+        a = Box((0, 0, 0), (1, 1, 1))
+        b = Box((5, 5, 5), (6, 6, 6))
+        assert a.bounding_union(b) == Box((0, 0, 0), (6, 6, 6))
+
+    def test_subtract_disjoint(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        b = Box((5, 5, 5), (6, 6, 6))
+        assert a.subtract(b) == [a]
+
+    def test_subtract_fully_covered(self):
+        a = Box((1, 1, 1), (2, 2, 2))
+        b = Box((0, 0, 0), (4, 4, 4))
+        assert a.subtract(b) == []
+
+    @given(boxes(), boxes())
+    def test_subtract_partition_property(self, a, b):
+        """a\\b pieces are disjoint, inside a, avoid b, and cover a\\b."""
+        pieces = a.subtract(b)
+        total = sum(p.num_cells for p in pieces)
+        inter = a.intersection(b)
+        expected = a.num_cells - (inter.num_cells if inter else 0)
+        assert total == expected
+        for i, p in enumerate(pieces):
+            assert a.contains_box(p)
+            assert not p.intersects(b)
+            for q in pieces[i + 1:]:
+                assert not p.intersects(q)
+
+
+class TestRefinement:
+    def test_refine_coarsen_roundtrip_aligned(self):
+        b = Box((2, 4, 6), (4, 8, 10))
+        assert b.refine(2).coarsen(2) == b
+
+    @given(boxes(), st.integers(2, 4))
+    def test_coarsen_covers(self, b, r):
+        """The coarsened box always covers the original footprint."""
+        c = b.coarsen(r)
+        assert c.refine(r).contains_box(b)
+
+    def test_grow(self):
+        b = Box((2, 2, 2), (4, 4, 4)).grow(1)
+        assert b == Box((1, 1, 1), (5, 5, 5))
+
+    def test_shift(self):
+        b = Box((0, 0, 0), (1, 1, 1)).shift((3, -2, 5))
+        assert b == Box((3, -2, 5), (4, -1, 6))
+
+    def test_refine_bad_ratio(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (1, 1, 1)).refine(0)
+
+
+class TestSplitting:
+    def test_split(self):
+        a, b = Box((0, 0, 0), (4, 2, 2)).split(0, 2)
+        assert a == Box((0, 0, 0), (2, 2, 2))
+        assert b == Box((2, 0, 0), (4, 2, 2))
+
+    def test_split_out_of_range(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (4, 2, 2)).split(0, 0)
+
+    def test_halve_longest(self):
+        a, b = Box((0, 0, 0), (8, 2, 2)).halve_longest()
+        assert a.shape == (4, 2, 2) and b.shape == (4, 2, 2)
+
+    def test_halve_single_cell(self):
+        assert Box((0, 0, 0), (1, 1, 1)).halve_longest() is None
+
+    @given(boxes())
+    def test_blocks_tile_exactly(self, b):
+        tiles = list(b.blocks((3, 3, 3)))
+        assert sum(t.num_cells for t in tiles) == b.num_cells
+        for i, t in enumerate(tiles):
+            assert b.contains_box(t)
+            for u in tiles[i + 1:]:
+                assert not t.intersects(u)
+
+
+class TestBridging:
+    def test_slices(self):
+        b = Box((2, 3, 4), (5, 6, 7))
+        arr = np.zeros((10, 10, 10))
+        arr[b.slices()] = 1
+        assert arr.sum() == b.num_cells
+        assert arr[2, 3, 4] == 1 and arr[4, 5, 6] == 1
+
+    def test_slices_with_origin(self):
+        b = Box((2, 2, 2), (4, 4, 4))
+        arr = np.zeros((4, 4, 4))
+        arr[b.slices(origin=(1, 1, 1))] = 1
+        assert arr.sum() == 8
+
+    def test_serialization_roundtrip(self):
+        b = Box((1, -2, 3), (4, 5, 6))
+        assert Box.from_dict(b.to_dict()) == b

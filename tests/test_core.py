@@ -1,0 +1,153 @@
+"""Tests for the Pragma core: capacity, meta-partitioner, pipelines, facade."""
+
+import numpy as np
+import pytest
+
+from repro.apps.loadgen import LoadPattern
+from repro.core import (
+    CapacityCalculator,
+    CapacityWeights,
+    MetaPartitioner,
+    PragmaRuntime,
+    SystemSensitivePipeline,
+)
+from repro.gridsys import linux_cluster, sp2_blue_horizon
+from repro.monitoring import ResourceMonitor
+from repro.policy import Octant, TABLE2_RECOMMENDATIONS
+from repro.policy.octant import OctantThresholds
+
+
+class TestCapacityWeights:
+    def test_default_sums_to_one(self):
+        CapacityWeights()
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityWeights(cpu=0.5, memory=0.5, bandwidth=0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityWeights(cpu=-0.2, memory=0.6, bandwidth=0.6)
+
+
+class TestCapacityCalculator:
+    def _monitored(self, seed=1):
+        cluster = linux_cluster(8, load_pattern=LoadPattern.STEPPED,
+                                max_load=0.8, seed=seed)
+        mon = ResourceMonitor(cluster, seed=seed + 1)
+        mon.sample_range(0.0, 32.0, 1.0)
+        return cluster, mon
+
+    def test_capacities_normalized(self):
+        _, mon = self._monitored()
+        caps = CapacityCalculator(mon).relative_capacities()
+        assert caps.shape == (8,)
+        assert caps.sum() == pytest.approx(1.0)
+        assert (caps >= 0).all()
+
+    def test_loaded_nodes_get_less(self):
+        _, mon = self._monitored()
+        caps = CapacityCalculator(mon).relative_capacities()
+        # stepped load: node 0 idle, node 7 heavily loaded
+        assert caps[0] > caps[7]
+
+    def test_forecast_mode(self):
+        _, mon = self._monitored()
+        caps = CapacityCalculator(mon, use_forecast=True).relative_capacities()
+        assert caps.sum() == pytest.approx(1.0)
+
+    def test_weights_shift_capacities(self):
+        _, mon = self._monitored()
+        cpu_heavy = CapacityCalculator(
+            mon, CapacityWeights(cpu=1.0, memory=0.0, bandwidth=0.0)
+        ).relative_capacities()
+        mem_heavy = CapacityCalculator(
+            mon, CapacityWeights(cpu=0.0, memory=1.0, bandwidth=0.0)
+        ).relative_capacities()
+        # memory is homogeneous -> near-equal shares
+        assert mem_heavy.std() < cpu_heavy.std()
+
+
+class TestMetaPartitioner:
+    def test_octant_lookup_matches_table2(self):
+        meta = MetaPartitioner()
+        for octant in Octant:
+            decision = meta.decide_for_octant(octant)
+            assert decision.label == TABLE2_RECOMMENDATIONS[octant][0]
+
+    def test_decisions_recorded(self, small_rm3d_trace):
+        meta = MetaPartitioner()
+        for idx, snap in enumerate(small_rm3d_trace):
+            prev = small_rm3d_trace[idx - 1] if idx else None
+            meta.decide(snap, prev)
+        assert len(meta.selections) == len(small_rm3d_trace)
+        used = {label for _, _, label in meta.selections}
+        assert used <= {"pBD-ISP", "G-MISP+SP", "SP-ISP", "ISP"}
+        assert len(used) >= 2  # the run actually switches partitioners
+
+    def test_hysteresis_reduces_switches(self, small_rm3d_trace):
+        def switches(h):
+            meta = MetaPartitioner(hysteresis=h)
+            for idx, snap in enumerate(small_rm3d_trace):
+                prev = small_rm3d_trace[idx - 1] if idx else None
+                meta.decide(snap, prev)
+            labels = [l for _, _, l in meta.selections]
+            return sum(a != b for a, b in zip(labels, labels[1:]))
+
+        assert switches(2) <= switches(0)
+
+    def test_partitioner_instances_cached(self, small_rm3d_trace):
+        meta = MetaPartitioner()
+        d1 = meta.decide_for_octant(Octant.II)
+        d2 = meta.decide_for_octant(Octant.II)
+        assert d1.partitioner is d2.partitioner
+
+
+class TestSystemSensitivePipeline:
+    def _pipeline(self, n=8, seed=3):
+        cluster = linux_cluster(n, load_pattern=LoadPattern.STEPPED,
+                                max_load=0.8, seed=seed)
+        mon = ResourceMonitor(cluster, seed=seed + 1)
+        calc = CapacityCalculator(mon)
+        return SystemSensitivePipeline(cluster=cluster, calculator=calc)
+
+    def test_improvement_positive_on_loaded_cluster(self, small_rm3d_trace):
+        pipe = self._pipeline()
+        pipe.warm_up()
+        improvement = pipe.improvement_pct(small_rm3d_trace)
+        assert improvement > 0.0
+
+    def test_capacities_once(self, small_rm3d_trace):
+        pipe = self._pipeline()
+        pipe.warm_up()
+        caps = pipe.capacities()
+        assert caps.shape == (8,)
+
+
+class TestPragmaRuntime:
+    def test_run_adaptive_report(self, small_rm3d_trace):
+        rt = PragmaRuntime(cluster=sp2_blue_horizon(8), num_procs=8)
+        rep = rt.run_adaptive(small_rm3d_trace, compare_with=("G-MISP+SP",))
+        assert rep.adaptive.total_runtime > 0
+        assert "G-MISP+SP" in rep.static
+        assert len(rep.octant_timeline) == len(small_rm3d_trace)
+
+    def test_unknown_comparison_rejected(self, small_rm3d_trace):
+        rt = PragmaRuntime(cluster=sp2_blue_horizon(4))
+        with pytest.raises(ValueError):
+            rt.run_adaptive(small_rm3d_trace, compare_with=("magic",))
+
+    def test_capacities_helper(self):
+        rt = PragmaRuntime(cluster=linux_cluster(4, seed=2))
+        caps = rt.capacities(warmup=8)
+        assert caps.shape == (4,)
+        assert caps.sum() == pytest.approx(1.0)
+
+    def test_characterize(self):
+        from repro.amr.regrid import RegridPolicy
+        from repro.apps import RM3D, RM3DConfig
+
+        rt = PragmaRuntime(cluster=sp2_blue_horizon(2))
+        cfg = RM3DConfig(shape=(32, 8, 8), interface_x=10.0)
+        trace = rt.characterize(RM3D(cfg), RegridPolicy(regrid_interval=8), 32)
+        assert len(trace) == 4

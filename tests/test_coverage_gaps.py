@@ -1,0 +1,97 @@
+"""Supplemental tests for behaviors not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.agents import ApplicationDelegatedManager, ManagementScheme, MessageCenter
+from repro.amr.box import Box
+from repro.amr.workload import WorkloadMap
+from repro.gridsys import FailureEvent, linux_cluster, sp2_blue_horizon
+from repro.monitoring import ResourceMonitor
+from repro.partitioners import ISPPartitioner, PBDISPPartitioner, build_units
+from repro.sfc import curve_order
+
+
+class TestWorkloadMapExtras:
+    def test_flat_loads_follows_order(self):
+        domain = Box.from_shape((4, 4, 4))
+        values = np.arange(64, dtype=float).reshape(4, 4, 4)
+        wm = WorkloadMap(domain, values)
+        order = curve_order((4, 4, 4))
+        flat = wm.flat_loads(order)
+        assert flat.shape == (64,)
+        assert flat.sum() == pytest.approx(values.sum())
+        # first element corresponds to the first cell along the curve
+        assert flat[0] == values.reshape(-1)[order[0]]
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMap(Box.from_shape((2, 2, 2)), -np.ones((2, 2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMap(Box.from_shape((2, 2, 2)), np.ones((3, 3, 3)))
+
+
+class TestSubdomainCount:
+    def test_contiguous_partition_counts_segments(self, small_hierarchy):
+        units = build_units(small_hierarchy, granularity=2)
+        p = ISPPartitioner().partition(units, 5)
+        assert p.subdomain_count() == 5
+
+    def test_geometric_partition_crosses_curve(self, small_hierarchy):
+        units = build_units(small_hierarchy, granularity=2)
+        p = PBDISPPartitioner().partition(units, 5)
+        assert p.subdomain_count() >= 5
+
+
+class TestADMInternals:
+    def test_select_scheme_default(self):
+        mc = MessageCenter()
+        adm = ApplicationDelegatedManager(
+            message_center=mc, cluster=sp2_blue_horizon(2)
+        )
+        assert adm.select_scheme("component-failed") is ManagementScheme.MIGRATION
+
+    def test_best_node_without_monitor_skips_dead(self):
+        cluster = sp2_blue_horizon(3)
+        cluster.failures.add(FailureEvent(1, 0.0, 100.0))
+        mc = MessageCenter()
+        adm = ApplicationDelegatedManager(message_center=mc, cluster=cluster)
+        best = adm.best_node(5.0, exclude=0)
+        assert best == 2  # node 1 is down, node 0 excluded
+
+    def test_best_node_with_monitor_prefers_forecast_fast(self):
+        cluster = linux_cluster(4, seed=9)
+        monitor = ResourceMonitor(cluster, seed=10)
+        monitor.sample_range(0.0, 32.0, 1.0)
+        mc = MessageCenter()
+        adm = ApplicationDelegatedManager(
+            message_center=mc, cluster=cluster, monitor=monitor
+        )
+        # stepped load: node 0 is the least loaded
+        assert adm.best_node(40.0, exclude=3) == 0
+
+
+class TestMonitorEnsembleAccess:
+    def test_ensemble_diagnostics(self, loaded_cluster):
+        mon = ResourceMonitor(loaded_cluster, seed=2)
+        mon.sample_range(0.0, 12.0, 1.0)
+        ens = mon.ensemble(0, "cpu")
+        errs = ens.postcast_errors()
+        assert errs and all(v >= 0 or np.isnan(v) for v in errs.values())
+
+
+class TestClusterPresetsScale:
+    @pytest.mark.parametrize("n", [1, 4, 64])
+    def test_sp2_sizes(self, n):
+        c = sp2_blue_horizon(n)
+        assert c.num_nodes == n
+
+    def test_sp2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            sp2_blue_horizon(0)
+
+    def test_linux_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linux_cluster(0)

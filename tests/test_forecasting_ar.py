@@ -1,0 +1,67 @@
+"""Tests for the autoregressive predictor and ensemble integration."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring import AutoRegressive, ForecasterEnsemble, default_ensemble
+from repro.util.rng import ensure_rng
+
+
+class TestAutoRegressive:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoRegressive(order=0)
+        with pytest.raises(ValueError):
+            AutoRegressive(order=5, window=8)
+
+    def test_falls_back_to_last_value_early(self):
+        p = AutoRegressive(order=3)
+        p.update(7.0)
+        assert p.predict() == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            AutoRegressive().predict()
+
+    def test_learns_ar1_process(self):
+        """On a strongly autocorrelated series the AR predictor beats the
+        sliding mean decisively."""
+        from repro.monitoring import SlidingWindowMean
+
+        rng = ensure_rng(0)
+        ar = AutoRegressive(order=2)
+        mean = SlidingWindowMean(10)
+        x = 0.5
+        ar_err, mean_err = [], []
+        for i in range(400):
+            if i > 50:
+                ar_err.append(abs(ar.predict() - x))
+                mean_err.append(abs(mean.predict() - x))
+            ar.update(x)
+            mean.update(x)
+            x = 0.2 + 0.75 * x + 0.02 * float(rng.standard_normal())
+        assert np.mean(ar_err) < np.mean(mean_err)
+
+    def test_constant_series_predicts_constant(self):
+        p = AutoRegressive(order=2)
+        for _ in range(50):
+            p.update(3.0)
+        assert p.predict() == pytest.approx(3.0, abs=1e-6)
+
+    def test_in_default_ensemble(self):
+        names = [p.name for p in default_ensemble()]
+        assert "AutoRegressive(3)" in names
+
+    def test_ensemble_can_select_ar(self):
+        """A clean AR(1) series should drive the ensemble toward the AR
+        member (or at least something competitive with it)."""
+        rng = ensure_rng(1)
+        ens = ForecasterEnsemble()
+        x = 0.5
+        for _ in range(300):
+            ens.update(x)
+            x = 0.1 + 0.85 * x + 0.005 * float(rng.standard_normal())
+        errs = ens.postcast_errors()
+        best = min(errs.values())
+        assert errs[ens.best_name] == best
+        assert errs["AutoRegressive(3)"] <= 3 * best

@@ -1,0 +1,70 @@
+"""Tests for patches and levels."""
+
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.grid import Level, Patch
+
+
+def patch(lo, hi, level=0, pid=0, lpc=1.0):
+    return Patch(box=Box(lo, hi), level=level, patch_id=pid, load_per_cell=lpc)
+
+
+class TestPatch:
+    def test_load(self):
+        p = patch((0, 0, 0), (2, 2, 2), lpc=1.5)
+        assert p.num_cells == 8
+        assert p.load == 12.0
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            patch((0, 0, 0), (1, 1, 1), level=-1)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            patch((0, 0, 0), (1, 1, 1), lpc=-0.5)
+
+    def test_serialization_roundtrip(self):
+        p = patch((1, 2, 3), (4, 5, 6), level=2, pid=7, lpc=2.5)
+        q = Patch.from_dict(p.to_dict())
+        assert q == p
+
+
+class TestLevel:
+    def test_add_and_iterate(self):
+        lvl = Level(index=1, ratio=2)
+        lvl.add(patch((0, 0, 0), (2, 2, 2), level=1, pid=0))
+        lvl.add(patch((4, 0, 0), (6, 2, 2), level=1, pid=1))
+        assert len(lvl) == 2
+        assert lvl.num_cells == 16
+        assert lvl.load == 16.0
+
+    def test_rejects_overlapping_patches(self):
+        lvl = Level(index=0, ratio=1)
+        lvl.add(patch((0, 0, 0), (4, 4, 4)))
+        with pytest.raises(ValueError, match="overlaps"):
+            lvl.add(patch((2, 2, 2), (6, 6, 6), pid=1))
+
+    def test_rejects_wrong_level_patch(self):
+        lvl = Level(index=1, ratio=2)
+        with pytest.raises(ValueError):
+            lvl.add(patch((0, 0, 0), (1, 1, 1), level=0))
+
+    def test_covered_fraction(self):
+        lvl = Level(index=0, ratio=1)
+        lvl.add(patch((0, 0, 0), (2, 4, 4)))
+        probe = Box((0, 0, 0), (4, 4, 4))
+        assert lvl.covered_fraction_of(probe) == pytest.approx(0.5)
+
+    def test_bounding_box(self):
+        lvl = Level(index=0, ratio=1)
+        assert lvl.bounding_box() is None
+        lvl.add(patch((0, 0, 0), (1, 1, 1)))
+        lvl.add(patch((5, 5, 5), (6, 6, 6), pid=1))
+        assert lvl.bounding_box() == Box((0, 0, 0), (6, 6, 6))
+
+    def test_serialization_roundtrip(self):
+        lvl = Level(index=1, ratio=2)
+        lvl.add(patch((0, 0, 0), (2, 2, 2), level=1))
+        out = Level.from_dict(lvl.to_dict())
+        assert out.index == 1 and out.ratio == 2 and len(out) == 1

@@ -1,0 +1,105 @@
+"""Tests for the simulated grid environment."""
+
+import pytest
+
+from repro.apps.loadgen import LoadPattern, SyntheticLoadGenerator
+from repro.gridsys import (
+    Cluster,
+    FailureEvent,
+    FailureSchedule,
+    Link,
+    Node,
+    linux_cluster,
+    sp2_blue_horizon,
+)
+
+
+class TestNodeLink:
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            Node(-1)
+        with pytest.raises(ValueError):
+            Node(0, cpu_speed=0)
+
+    def test_link_transfer_time(self):
+        link = Link(latency=1e-3, bandwidth=1e6)
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_time(1e6) == pytest.approx(1.001)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            Link(latency=-1)
+        with pytest.raises(ValueError):
+            Link(bandwidth=0)
+
+
+class TestFailures:
+    def test_event_window(self):
+        e = FailureEvent(node_id=0, t_fail=5.0, t_recover=10.0)
+        assert not e.is_down(4.9)
+        assert e.is_down(5.0)
+        assert e.is_down(9.9)
+        assert not e.is_down(10.0)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(node_id=0, t_fail=5.0, t_recover=5.0)
+
+    def test_schedule_queries(self):
+        s = FailureSchedule()
+        s.add(FailureEvent(1, 2.0, 4.0))
+        assert s.is_alive(0, 3.0)
+        assert not s.is_alive(1, 3.0)
+        assert len(s.failures_in(0.0, 10.0)) == 1
+        assert s.failures_in(5.0, 10.0) == []
+
+    def test_poisson_schedule(self):
+        s = FailureSchedule.poisson(4, horizon=1000.0, mtbf=100.0, mttr=10.0, seed=1)
+        assert len(s.events) > 0
+        assert all(e.t_fail < 1000.0 for e in s.events)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            FailureSchedule.poisson(1, 10.0, mtbf=0, mttr=1)
+
+
+class TestCluster:
+    def test_homogeneous_speed(self):
+        c = sp2_blue_horizon(4)
+        assert c.effective_speed(0, 0.0) == c.nodes[0].cpu_speed
+        assert c.background_load(0, 5.0) == 0.0
+
+    def test_failed_node_speed_zero(self):
+        c = sp2_blue_horizon(2)
+        c.failures.add(FailureEvent(0, 1.0, 2.0))
+        assert c.effective_speed(0, 1.5) == 0.0
+        assert c.effective_speed(0, 2.5) > 0
+
+    def test_comm_time(self):
+        c = sp2_blue_horizon(2)
+        assert c.comm_time(0, 0, 1e6) == 0.0
+        assert c.comm_time(0, 1, 1e6) > 0.0
+        with pytest.raises(ValueError):
+            c.comm_time(0, 9, 1.0)
+
+    def test_node_id_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            Cluster(nodes=[Node(1), Node(0)])
+
+    def test_loadgen_size_checked(self):
+        with pytest.raises(ValueError):
+            Cluster(
+                nodes=[Node(0), Node(1)],
+                loadgen=SyntheticLoadGenerator(3),
+            )
+
+    def test_linux_cluster_heterogeneous_speeds(self):
+        c = linux_cluster(8, load_pattern=LoadPattern.STEPPED, seed=2)
+        speeds = [c.effective_speed(n, 10.0) for n in range(8)]
+        assert max(speeds) > min(speeds)
+
+    def test_linux_cluster_custom_speeds(self):
+        c = linux_cluster(2, speeds=[1e6, 2e6])
+        assert c.nodes[1].cpu_speed == 2e6
+        with pytest.raises(ValueError):
+            linux_cluster(2, speeds=[1e6])

@@ -1,0 +1,134 @@
+"""Tests for the grid-hierarchy container."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.grid import Level, Patch
+from repro.amr.hierarchy import GridHierarchy
+
+
+def make_two_level(domain_shape=(16, 8, 8), fine_lo=(4, 2, 2), fine_hi=(8, 6, 6)):
+    domain = Box.from_shape(domain_shape)
+    base = Level(index=0, ratio=1)
+    base.add(Patch(box=domain, level=0, patch_id=0))
+    fine = Level(index=1, ratio=2)
+    fine.add(
+        Patch(
+            box=Box(fine_lo, fine_hi).refine(2),
+            level=1,
+            patch_id=1,
+        )
+    )
+    return GridHierarchy(domain=domain, levels=[base, fine])
+
+
+class TestStructure:
+    def test_default_base_level(self):
+        h = GridHierarchy(domain=Box.from_shape((8, 8, 8)))
+        assert h.num_levels == 1
+        assert h.total_cells == 512
+
+    def test_cumulative_ratio(self):
+        h = make_two_level()
+        assert h.cumulative_ratio(0) == 1
+        assert h.cumulative_ratio(1) == 2
+
+    def test_cumulative_ratio_out_of_range(self):
+        h = make_two_level()
+        with pytest.raises(ValueError):
+            h.cumulative_ratio(5)
+
+    def test_level_domain(self):
+        h = make_two_level()
+        assert h.level_domain(1).shape == (32, 16, 16)
+
+    def test_base_must_have_ratio_1(self):
+        lvl = Level(index=0, ratio=2)
+        lvl.add(Patch(box=Box.from_shape((4, 4, 4)), level=0, patch_id=0))
+        with pytest.raises(ValueError):
+            GridHierarchy(domain=Box.from_shape((4, 4, 4)), levels=[lvl])
+
+
+class TestLoadAccounting:
+    def test_load_includes_subcycling(self):
+        h = make_two_level()
+        base_load = 16 * 8 * 8
+        fine_cells = 8 * 8 * 8  # (4x4x4 base box) refined by 2
+        # level 1 sweeps twice per coarse step
+        assert h.load_per_coarse_step() == pytest.approx(
+            base_load + 2 * fine_cells
+        )
+
+    def test_refined_fraction(self):
+        h = make_two_level()
+        frac = h.refined_fraction(1)
+        assert frac == pytest.approx((4 * 4 * 4) / (16 * 8 * 8))
+
+
+class TestNesting:
+    def test_properly_nested(self, small_hierarchy):
+        assert small_hierarchy.is_properly_nested()
+
+    def test_not_nested_detected(self):
+        domain = Box.from_shape((8, 8, 8))
+        base = Level(index=0, ratio=1)
+        base.add(Patch(box=Box((0, 0, 0), (4, 8, 8)), level=0, patch_id=0))
+        fine = Level(index=1, ratio=2)
+        # Fine patch extends over base cells not covered by level 0 patches.
+        fine.add(Patch(box=Box((6, 0, 0), (16, 4, 4)), level=1, patch_id=1))
+        h = GridHierarchy(domain=domain, levels=[base, fine])
+        assert not h.is_properly_nested()
+
+
+class TestSignals:
+    def test_refined_mask_matches_footprints(self, small_hierarchy):
+        mask = small_hierarchy.refined_mask()
+        assert mask.shape == small_hierarchy.domain.shape
+        covered = sum(
+            b.num_cells
+            for p, b in small_hierarchy.patches_in_base_space()
+            if p.level == 1
+        )
+        # Level-1 footprint is a superset of deeper levels in base space.
+        assert mask.sum() == covered
+
+    def test_scatter_zero_without_refinement(self):
+        h = GridHierarchy(domain=Box.from_shape((8, 8, 8)))
+        assert h.adaptation_scatter() == 0.0
+
+    def test_scatter_increases_with_separation(self):
+        compact = make_two_level(fine_lo=(4, 2, 2), fine_hi=(8, 6, 6))
+        domain = Box.from_shape((16, 8, 8))
+        base = Level(index=0, ratio=1)
+        base.add(Patch(box=domain, level=0, patch_id=0))
+        fine = Level(index=1, ratio=2)
+        fine.add(Patch(box=Box((0, 0, 0), (4, 4, 4)), level=1, patch_id=1))
+        fine.add(Patch(box=Box((28, 12, 12), (32, 16, 16)), level=1, patch_id=2))
+        spread = GridHierarchy(domain=domain, levels=[base, fine])
+        assert spread.adaptation_scatter() > compact.adaptation_scatter()
+
+    def test_comm_ratio_thin_vs_bulky(self):
+        thin = make_two_level(fine_lo=(4, 0, 0), fine_hi=(5, 8, 8))
+        bulky = make_two_level(fine_lo=(4, 2, 2), fine_hi=(8, 6, 6))
+        assert thin.comm_to_comp_ratio() > bulky.comm_to_comp_ratio()
+
+    def test_comm_ratio_base_only_is_zero(self):
+        h = GridHierarchy(domain=Box.from_shape((8, 8, 8)))
+        assert h.comm_to_comp_ratio() == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_hierarchy):
+        d = small_hierarchy.to_dict()
+        back = GridHierarchy.from_dict(d)
+        assert back.num_levels == small_hierarchy.num_levels
+        assert back.total_cells == small_hierarchy.total_cells
+        assert back.load_per_coarse_step() == pytest.approx(
+            small_hierarchy.load_per_coarse_step()
+        )
+
+    def test_copy_is_deep_for_levels(self, small_hierarchy):
+        c = small_hierarchy.copy()
+        c.levels[0].patches.clear()
+        assert len(small_hierarchy.levels[0]) == 1

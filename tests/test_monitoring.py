@@ -1,0 +1,167 @@
+"""Tests for NWS-style monitoring and forecasting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gridsys import FailureEvent, linux_cluster, sp2_blue_horizon
+from repro.monitoring import (
+    AdaptiveMean,
+    ExponentialSmoothing,
+    ForecasterEnsemble,
+    LastValue,
+    MeasurementStream,
+    ResourceMonitor,
+    RunningMean,
+    SlidingMedian,
+    SlidingWindowMean,
+    default_ensemble,
+)
+
+
+class TestStream:
+    def test_append_and_read(self):
+        s = MeasurementStream("x", capacity=4)
+        for t in range(6):
+            s.append(float(t), float(t * 10))
+        assert len(s) == 4  # bounded window
+        assert s.last == 50.0
+        assert s.last_time == 5.0
+        assert s.values().tolist() == [20.0, 30.0, 40.0, 50.0]
+        assert s.values(window=2).tolist() == [40.0, 50.0]
+
+    def test_time_must_advance(self):
+        s = MeasurementStream("x")
+        s.append(1.0, 0.0)
+        with pytest.raises(ValueError):
+            s.append(1.0, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MeasurementStream("x").last
+
+
+class TestPredictors:
+    def test_last_value(self):
+        p = LastValue()
+        with pytest.raises(ValueError):
+            p.predict()
+        p.update(3.0)
+        p.update(7.0)
+        assert p.predict() == 7.0
+
+    def test_running_mean(self):
+        p = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(2.0)
+
+    def test_sliding_window(self):
+        p = SlidingWindowMean(2)
+        for v in (10.0, 2.0, 4.0):
+            p.update(v)
+        assert p.predict() == pytest.approx(3.0)
+
+    def test_sliding_median_robust_to_spike(self):
+        p = SlidingMedian(5)
+        for v in (1.0, 1.0, 9.0, 1.0, 1.0):
+            p.update(v)
+        assert p.predict() == 1.0
+
+    def test_exponential_smoothing(self):
+        p = ExponentialSmoothing(0.5)
+        p.update(0.0)
+        p.update(10.0)
+        assert p.predict() == pytest.approx(5.0)
+
+    def test_adaptive_mean_tracks_level_shift(self):
+        slow = RunningMean()
+        fast = AdaptiveMean(max_window=16)
+        series = [1.0] * 30 + [10.0] * 10
+        for v in series:
+            slow.update(v)
+            fast.update(v)
+        assert abs(fast.predict() - 10.0) < abs(slow.predict() - 10.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMean(0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(0.0)
+        with pytest.raises(ValueError):
+            AdaptiveMean(max_window=2)
+
+
+class TestEnsemble:
+    def test_selects_low_error_predictor(self):
+        """On a constant series with one spike, the median beats last-value
+        and the ensemble converges on a robust predictor."""
+        ens = ForecasterEnsemble()
+        rng = np.random.default_rng(0)
+        for i in range(200):
+            v = 5.0 + 0.01 * rng.standard_normal()
+            if i % 17 == 0:
+                v = 50.0
+            ens.update(v)
+        assert abs(ens.predict() - 5.0) < 5.0
+
+    def test_postcast_errors_reported(self):
+        ens = ForecasterEnsemble()
+        for v in (1.0, 2.0, 3.0):
+            ens.update(v)
+        errs = ens.postcast_errors()
+        assert set(errs) == {p.name for p in ens.predictors}
+        assert all(e >= 0 for e in errs.values())
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ForecasterEnsemble().predict()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=2, max_size=50))
+    def test_ensemble_never_worse_than_worst(self, series):
+        """Ensemble postcast error is bounded by its member errors."""
+        ens = ForecasterEnsemble()
+        for v in series:
+            ens.update(v)
+        errs = ens.postcast_errors()
+        best = ens.predictors[ens.best_index].name
+        assert errs[best] == min(errs.values())
+
+
+class TestResourceMonitor:
+    def test_sampling_and_state(self, loaded_cluster):
+        mon = ResourceMonitor(loaded_cluster, seed=1)
+        mon.sample_range(0.0, 20.0, 1.0)
+        state = mon.current(3)
+        assert 0.0 <= state.cpu <= 1.0
+        assert state.memory > 0
+        assert state.bandwidth > 0
+
+    def test_forecast_vector_shape(self, loaded_cluster):
+        mon = ResourceMonitor(loaded_cluster, seed=1)
+        mon.sample_range(0.0, 10.0, 1.0)
+        vec = mon.forecast_vector("cpu")
+        assert vec.shape == (8,)
+        assert (vec >= 0).all()
+
+    def test_unknown_attribute(self, loaded_cluster):
+        mon = ResourceMonitor(loaded_cluster, seed=1)
+        mon.sample(0.0)
+        with pytest.raises(ValueError):
+            mon.forecast(0, "disk")
+
+    def test_failure_visible_in_cpu(self):
+        cluster = sp2_blue_horizon(2)
+        cluster.failures.add(FailureEvent(0, 5.0, 100.0))
+        mon = ResourceMonitor(cluster, noise=0.0, seed=0)
+        mon.sample(1.0)
+        mon.sample(6.0)
+        assert mon.stream(0, "cpu").last == 0.0
+        assert mon.stream(1, "cpu").last == 1.0
+
+    def test_forecast_tracks_stepped_load(self, loaded_cluster):
+        mon = ResourceMonitor(loaded_cluster, noise=0.01, seed=3)
+        mon.sample_range(0.0, 60.0, 1.0)
+        # node 0 is idle, node 7 heavily loaded (stepped pattern)
+        assert mon.forecast(0, "cpu") > mon.forecast(7, "cpu")

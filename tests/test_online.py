@@ -1,0 +1,157 @@
+"""Tests for the characterization agent and the online adaptive runtime."""
+
+import numpy as np
+import pytest
+
+from repro.agents import CharacterizationAgent, MessageCenter
+from repro.amr.box import Box
+from repro.amr.grid import Level, Patch
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.regrid import RegridPolicy
+from repro.apps import RM3D, RM3DConfig
+from repro.core import OnlineAdaptiveRuntime
+from repro.gridsys import sp2_blue_horizon
+
+
+def _hierarchy(lo, hi, domain=(32, 16, 16)):
+    dom = Box.from_shape(domain)
+    base = Level(index=0, ratio=1)
+    base.add(Patch(box=dom, level=0, patch_id=0))
+    fine = Level(index=1, ratio=2)
+    fine.add(Patch(box=Box(lo, hi).refine(2), level=1, patch_id=1))
+    return GridHierarchy(domain=dom, levels=[base, fine])
+
+
+class TestCharacterizationAgent:
+    def _agent(self):
+        mc = MessageCenter()
+        mc.register("listener")
+        for topic in ("app-state", "octant-transition", "load-threshold"):
+            mc.subscribe("listener", topic)
+        return mc, CharacterizationAgent(mc)
+
+    def test_every_observation_publishes_state(self):
+        mc, agent = self._agent()
+        agent.observe(0, _hierarchy((4, 4, 4), (10, 10, 10)))
+        msgs = mc.drain("listener")
+        assert [m.topic for m in msgs] == ["app-state"]
+        assert agent.current_octant is not None
+
+    def test_transition_event_on_octant_change(self):
+        mc, agent = self._agent()
+        agent.observe(0, _hierarchy((4, 4, 4), (10, 10, 10)))
+        mc.drain("listener")
+        # Move the refined region across the domain -> dynamics flips high.
+        agent.observe(4, _hierarchy((20, 4, 4), (26, 10, 10)))
+        topics = {m.topic for m in mc.drain("listener")}
+        assert "octant-transition" in topics
+
+    def test_load_threshold_event(self):
+        mc, agent = self._agent()
+        agent.observe(0, _hierarchy((4, 4, 4), (8, 8, 8)))
+        mc.drain("listener")
+        # Much larger refined region -> load jumps far beyond 25%.
+        agent.observe(4, _hierarchy((2, 2, 2), (30, 14, 14)))
+        topics = {m.topic for m in mc.drain("listener")}
+        assert "load-threshold" in topics
+
+    def test_no_spurious_events_when_static(self):
+        mc, agent = self._agent()
+        h = _hierarchy((4, 4, 4), (10, 10, 10))
+        agent.observe(0, h)
+        mc.drain("listener")
+        agent.observe(4, h.copy())
+        topics = [m.topic for m in mc.drain("listener")]
+        assert topics == ["app-state"]
+
+    def test_history_recorded(self):
+        _, agent = self._agent()
+        agent.observe(0, _hierarchy((4, 4, 4), (10, 10, 10)))
+        agent.observe(4, _hierarchy((20, 4, 4), (26, 10, 10)))
+        assert len(agent.history) >= 2
+        assert agent.history[0].topic == "app-state"
+
+    def test_validation(self):
+        mc = MessageCenter()
+        with pytest.raises(ValueError):
+            CharacterizationAgent(mc, load_jump_fraction=0.0)
+
+
+class TestOnlineAdaptiveRuntime:
+    def _app_and_policy(self):
+        cfg = RM3DConfig(
+            shape=(64, 16, 16), interface_x=20.0, shock_entry_snapshot=6.0,
+            reshock_snapshot=30.0, num_seed_clumps=5,
+            num_mixing_structures=10,
+        )
+        return RM3D(cfg), RegridPolicy(thresholds=(0.2, 0.45, 0.7),
+                                       regrid_interval=4)
+
+    def test_run_completes_and_accounts_all_steps(self):
+        app, policy = self._app_and_policy()
+        runtime = OnlineAdaptiveRuntime(sp2_blue_horizon(8))
+        report = runtime.run(app, policy, 80)
+        assert report.regrids == 20
+        steps = sum(r.coarse_steps for r in report.result.records)
+        assert steps == 80
+        assert report.result.total_runtime > 0
+
+    def test_event_driven_repartitions_less(self):
+        app, policy = self._app_and_policy()
+        runtime = OnlineAdaptiveRuntime(
+            sp2_blue_horizon(8), imbalance_trigger_pct=80.0
+        )
+        ev = runtime.run(app, policy, 80)
+        al = runtime.run(app, policy, 80, always_repartition=True)
+        assert ev.repartitions < al.repartitions
+        assert al.repartition_fraction == 1.0
+
+    def test_carried_forward_has_no_partition_cost(self):
+        app, policy = self._app_and_policy()
+        runtime = OnlineAdaptiveRuntime(
+            sp2_blue_horizon(8), imbalance_trigger_pct=500.0
+        )
+        report = runtime.run(app, policy, 80)
+        carried = [r for r in report.result.records if r.regrid_time == 0.0]
+        assert carried, "some regrids must carry the partition forward"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineAdaptiveRuntime(sp2_blue_horizon(2), imbalance_trigger_pct=0)
+        runtime = OnlineAdaptiveRuntime(sp2_blue_horizon(2))
+        app, policy = self._app_and_policy()
+        with pytest.raises(ValueError):
+            runtime.run(app, policy, 0)
+
+
+class TestPredictiveSelector:
+    def test_predictions_and_validity(self, small_rm3d_trace):
+        from repro.core import PredictiveSelector
+        from repro.execsim import ExecutionSimulator
+
+        cluster = sp2_blue_horizon(8)
+        selector = PredictiveSelector(cluster=cluster, num_procs=8)
+        sim = ExecutionSimulator(cluster, num_procs=8)
+        res = sim.run(small_rm3d_trace, selector)
+        assert res.total_runtime > 0
+        # Tie-breaking happened for multi-candidate octants.
+        assert selector.predictions
+        for _, costs in selector.predictions:
+            assert len(costs) >= 2
+            assert all(c > 0 for c in costs.values())
+
+    def test_forecast_speeds_used_when_monitored(self):
+        from repro.core import PredictiveSelector
+        from repro.gridsys import linux_cluster
+        from repro.monitoring import ResourceMonitor
+
+        cluster = linux_cluster(4, seed=3)
+        monitor = ResourceMonitor(cluster, seed=4)
+        monitor.sample_range(0.0, 16.0, 1.0)
+        selector = PredictiveSelector(
+            cluster=cluster, num_procs=4, monitor=monitor
+        )
+        speeds = selector._effective_speeds()
+        assert speeds.shape == (4,)
+        # stepped load: node 3 forecast below node 0
+        assert speeds[0] > speeds[3]

@@ -1,0 +1,73 @@
+"""Additional performance-function behaviors: composition algebra edge
+cases and the FittedPF contract."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    CallablePF,
+    MaxPF,
+    ScaledPF,
+    SumPF,
+    fit_neural,
+    fit_polynomial,
+)
+
+
+class TestCompositionAlgebra:
+    def test_nested_composition(self):
+        """Compositions compose: sum of (max, scaled) trees."""
+        a = CallablePF(lambda x: x, "a")
+        b = CallablePF(lambda x: 2 * x, "b")
+        c = CallablePF(lambda x: 0 * x + 1, "c")
+        pf = SumPF([MaxPF([a, b]), ScaledPF(c, 3.0)])
+        assert pf.predict(2.0) == pytest.approx(4.0 + 3.0)
+
+    def test_vectorized_prediction(self):
+        a = CallablePF(lambda x: x**2, "sq")
+        out = np.asarray(SumPF([a, a]).predict(np.array([1.0, 2.0, 3.0])))
+        assert out.tolist() == [2.0, 8.0, 18.0]
+
+    def test_sum_operator_chains(self):
+        a = CallablePF(lambda x: x, "a")
+        b = CallablePF(lambda x: x, "b")
+        c = CallablePF(lambda x: x, "c")
+        chained = a + b + c
+        assert chained.predict(5.0) == 15.0
+
+    def test_attribute_propagates(self):
+        a = CallablePF(lambda x: x, "a", attribute="cpu_load")
+        assert ScaledPF(a, 2.0).attribute == "cpu_load"
+        assert SumPF([a]).attribute == "cpu_load"
+
+
+class TestFittedPFContract:
+    def test_training_rmse_neural(self):
+        x = np.linspace(0, 1, 30)
+        y = 2.0 * x + 1.0
+        pf = fit_neural(x, y, hidden=8, epochs=1500, seed=1)
+        assert pf.training_rmse() < 0.05
+
+    def test_vector_and_scalar_agree(self):
+        pf = fit_polynomial([0.0, 1.0, 2.0, 3.0], [0.0, 2.0, 4.0, 6.0],
+                            degree=1)
+        scalar = pf.predict(1.5)
+        vector = np.asarray(pf.predict(np.array([1.5])))
+        assert scalar == pytest.approx(float(vector[0]))
+
+    def test_train_data_retained(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([2.0, 4.0, 6.0])
+        pf = fit_polynomial(x, y, degree=1)
+        assert pf.train_x.tolist() == x.tolist()
+        assert pf.train_y.tolist() == y.tolist()
+
+    def test_extrapolation_is_finite(self):
+        """MLP predictions saturate (tanh) rather than exploding outside
+        the training range — relevant when a PF is queried beyond its
+        calibration."""
+        x = np.linspace(100, 1000, 19)
+        y = 1e-4 + 1e-6 * x
+        pf = fit_neural(x, y, hidden=8, epochs=800, seed=0)
+        far = float(pf.predict(1e6))
+        assert np.isfinite(far)

@@ -1,0 +1,118 @@
+"""Tests for policy derivation and knowledge-base persistence."""
+
+import numpy as np
+import pytest
+
+from repro.policy import (
+    Condition,
+    FuzzySet,
+    Octant,
+    PolicyKnowledgeBase,
+    Rule,
+    default_policy_base,
+    derive_recommendations,
+    kb_from_json,
+    kb_to_json,
+    load_kb,
+    requirement_weights,
+    save_kb,
+    triangular,
+)
+
+
+class TestRequirementWeights:
+    def test_all_octants_defined(self):
+        for octant in Octant:
+            w = requirement_weights(octant).as_array()
+            assert w.shape == (5,)
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_comm_octants_weight_comm_over_balance(self):
+        w_comm = requirement_weights(Octant.II)  # scattered/high/comm
+        w_comp = requirement_weights(Octant.IV)  # scattered/high/comp
+        assert w_comm.comm > w_comm.load_imbalance
+        assert w_comp.load_imbalance > w_comp.comm
+
+    def test_dynamics_raises_migration_weight(self):
+        high = requirement_weights(Octant.I)   # high dynamics
+        low = requirement_weights(Octant.V)    # low dynamics
+        assert high.migration > low.migration
+        assert high.partition_time > low.partition_time
+
+
+class TestDeriveRecommendations:
+    def test_small_trace_derivation(self, small_rm3d_trace):
+        derived = derive_recommendations(
+            small_rm3d_trace, num_procs=8, max_snapshots_per_octant=3
+        )
+        assert derived, "at least one octant must be populated"
+        for octant, ranking in derived.items():
+            assert len(ranking) == 6
+            assert len(set(ranking)) == 6
+
+    def test_restricted_candidate_set(self, small_rm3d_trace):
+        from repro.partitioners import GMISPSPPartitioner, PBDISPPartitioner
+
+        derived = derive_recommendations(
+            small_rm3d_trace,
+            num_procs=8,
+            max_snapshots_per_octant=2,
+            partitioners={
+                "G-MISP+SP": GMISPSPPartitioner(),
+                "pBD-ISP": PBDISPPartitioner(),
+            },
+        )
+        for ranking in derived.values():
+            assert set(ranking) == {"G-MISP+SP", "pBD-ISP"}
+
+
+class TestKBSerialization:
+    def test_roundtrip_default_base(self):
+        kb = default_policy_base()
+        back = kb_from_json(kb_to_json(kb))
+        assert len(back) == len(kb)
+        for octant in Octant:
+            assert back.merged_action({"octant": octant}) == kb.merged_action(
+                {"octant": octant}
+            )
+
+    def test_roundtrip_fuzzy_rules(self):
+        kb = PolicyKnowledgeBase()
+        kb.add(
+            Rule(
+                name="fuzzy-load",
+                condition=Condition(
+                    exact={"octant": Octant.III},
+                    fuzzy={"load": triangular("high", 0.4, 0.8, 1.2)},
+                ),
+                action={"partitioner": "SP-ISP"},
+                priority=2.5,
+            )
+        )
+        back = kb_from_json(kb_to_json(kb))
+        rule = back.get("fuzzy-load")
+        assert rule.priority == 2.5
+        assert rule.condition.match({"octant": Octant.III, "load": 0.8}) == 1.0
+        assert rule.condition.match({"octant": Octant.III, "load": 0.6}) == (
+            pytest.approx(0.5)
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        kb = default_policy_base()
+        path = tmp_path / "kb.json"
+        save_kb(kb, path)
+        assert len(load_kb(path)) == len(kb)
+
+    def test_hand_built_fuzzy_rejected(self):
+        kb = PolicyKnowledgeBase()
+        kb.add(
+            Rule(
+                name="opaque",
+                condition=Condition(
+                    fuzzy={"x": FuzzySet("opaque", lambda v: 0.5)}
+                ),
+                action={"y": 1},
+            )
+        )
+        with pytest.raises(ValueError, match="cannot be serialized"):
+            kb_to_json(kb)

@@ -1,0 +1,115 @@
+"""Tests for the regridder and regrid policy."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.regrid import Regridder, RegridPolicy
+from repro.amr.workload import composite_load_map
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        RegridPolicy()
+
+    def test_thresholds_must_increase(self):
+        with pytest.raises(ValueError):
+            RegridPolicy(thresholds=(0.5, 0.3))
+
+    def test_ratio_minimum(self):
+        with pytest.raises(ValueError):
+            RegridPolicy(ratio=1)
+
+    def test_max_refined_levels(self):
+        assert RegridPolicy(thresholds=(0.1, 0.2, 0.3)).max_refined_levels == 3
+
+
+class TestRegrid:
+    def setup_method(self):
+        self.domain = Box.from_shape((32, 16, 16))
+        self.policy = RegridPolicy(thresholds=(0.3, 0.7), buffer_cells=1)
+        self.regridder = Regridder(self.domain, self.policy)
+
+    def test_no_error_no_refinement(self):
+        h = self.regridder.regrid(np.zeros(self.domain.shape))
+        assert h.num_levels == 1
+
+    def test_nested_levels(self):
+        err = np.zeros(self.domain.shape)
+        err[8:16, 4:12, 4:12] = 0.5
+        err[10:14, 6:10, 6:10] = 0.9
+        h = self.regridder.regrid(err)
+        assert h.num_levels == 3
+        assert h.is_properly_nested()
+
+    def test_refinement_covers_flags(self):
+        err = np.zeros(self.domain.shape)
+        err[8:16, 4:12, 4:12] = 0.5
+        h = self.regridder.regrid(err)
+        mask = h.refined_mask()
+        assert mask[8:16, 4:12, 4:12].all()
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            self.regridder.regrid(np.zeros((4, 4, 4)))
+
+    def test_load_field_sets_patch_cost(self):
+        err = np.zeros(self.domain.shape)
+        err[4:10, 4:10, 4:10] = 0.5
+        load = np.ones(self.domain.shape)
+        load[4:10, 4:10, 4:10] = 3.0
+        h = self.regridder.regrid(err, load)
+        fine_patches = list(h.levels[1])
+        assert all(p.load_per_cell > 1.0 for p in fine_patches)
+
+    def test_load_field_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="load field"):
+            self.regridder.regrid(
+                np.zeros(self.domain.shape), np.zeros((2, 2, 2))
+            )
+
+    def test_patch_ids_unique_across_regrids(self):
+        err = np.zeros(self.domain.shape)
+        err[8:16, 4:12, 4:12] = 0.5
+        h1 = self.regridder.regrid(err)
+        h2 = self.regridder.regrid(err)
+        ids1 = {p.patch_id for lvl in h1 for p in lvl}
+        ids2 = {p.patch_id for lvl in h2 for p in lvl}
+        assert not ids1 & ids2
+
+
+class TestWorkloadMap:
+    def test_base_only(self):
+        domain = Box.from_shape((8, 8, 8))
+        rg = Regridder(domain, RegridPolicy())
+        h = rg.regrid(np.zeros(domain.shape))
+        wm = composite_load_map(h)
+        assert wm.total == pytest.approx(domain.num_cells)
+        assert (wm.values == 1.0).all()
+
+    def test_refined_column_weight(self):
+        """A level-1 (ratio 2) cell column adds 2^4 load per base cell."""
+        domain = Box.from_shape((16, 8, 8))
+        rg = Regridder(domain, RegridPolicy(thresholds=(0.5,), buffer_cells=0,
+                                            min_width=2))
+        err = np.zeros(domain.shape)
+        err[4:8, 2:6, 2:6] = 0.9
+        h = rg.regrid(err)
+        wm = composite_load_map(h)
+        inside = wm.values[5, 3, 3]
+        outside = wm.values[0, 0, 0]
+        assert outside == pytest.approx(1.0)
+        # base contributes 1, level-1 contributes 2 sweeps * 8 cells = 16
+        assert inside == pytest.approx(1.0 + 16.0)
+
+    def test_total_matches_hierarchy_load(self, small_hierarchy):
+        wm = composite_load_map(small_hierarchy)
+        assert wm.total == pytest.approx(
+            small_hierarchy.load_per_coarse_step(), rel=1e-9
+        )
+
+    def test_box_load(self, small_hierarchy):
+        wm = composite_load_map(small_hierarchy)
+        whole = wm.box_load(small_hierarchy.domain)
+        assert whole == pytest.approx(wm.total)
+        assert wm.box_load(Box((-5, -5, -5), (-1, -1, -1))) == 0.0

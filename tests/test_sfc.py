@@ -1,0 +1,111 @@
+"""Tests for space-filling curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sfc import (
+    curve_order,
+    curve_rank_of_cells,
+    hilbert_decode,
+    hilbert_key,
+    morton_decode,
+    morton_key,
+)
+
+
+def full_grid(n):
+    x, y, z = np.meshgrid(np.arange(n), np.arange(n), np.arange(n), indexing="ij")
+    return x.ravel(), y.ravel(), z.ravel()
+
+
+class TestMorton:
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(1)
+        x, y, z = (rng.integers(0, 64, 500) for _ in range(3))
+        k = morton_key(x, y, z, 6)
+        xx, yy, zz = morton_decode(k, 6)
+        assert (x == xx).all() and (y == yy).all() and (z == zz).all()
+
+    def test_bijective_on_grid(self):
+        x, y, z = full_grid(8)
+        k = morton_key(x, y, z, 3)
+        assert len(np.unique(k)) == 512
+        assert k.min() == 0 and k.max() == 511
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_key(np.array([8]), np.array([0]), np.array([0]), 3)
+
+    def test_known_values(self):
+        # (1,0,0) with x most significant -> bit 2
+        assert morton_key(np.array([1]), np.array([0]), np.array([0]), 1)[0] == 4
+        assert morton_key(np.array([0]), np.array([1]), np.array([0]), 1)[0] == 2
+        assert morton_key(np.array([0]), np.array([0]), np.array([1]), 1)[0] == 1
+
+
+class TestHilbert:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6))
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        n = 1 << bits
+        x, y, z = (rng.integers(0, n, 200) for _ in range(3))
+        k = hilbert_key(x, y, z, bits)
+        xx, yy, zz = hilbert_decode(k, bits)
+        assert (x == xx).all() and (y == yy).all() and (z == zz).all()
+
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_bijective(self, bits):
+        n = 1 << bits
+        x, y, z = full_grid(n)
+        k = hilbert_key(x, y, z, bits)
+        assert len(np.unique(k)) == n**3
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_continuity(self, bits):
+        """Consecutive Hilbert indices are face neighbors — the locality
+        property every ISP partitioner relies on."""
+        n = 1 << bits
+        x, y, z = full_grid(n)
+        k = hilbert_key(x, y, z, bits)
+        order = np.argsort(k)
+        pts = np.stack([x, y, z], axis=1)[order]
+        dist = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+        assert (dist == 1).all()
+
+    def test_scalar_inputs(self):
+        k = hilbert_key(np.int64(3), np.int64(1), np.int64(2), 3)
+        xx, yy, zz = hilbert_decode(k, 3)
+        assert (int(xx), int(yy), int(zz)) == (3, 1, 2)
+
+
+class TestLinearize:
+    def test_curve_order_is_permutation(self):
+        for curve in ("morton", "hilbert"):
+            order = curve_order((4, 2, 3), curve)
+            assert sorted(order.tolist()) == list(range(24))
+
+    def test_rank_inverse(self):
+        order = curve_order((4, 4, 4))
+        rank = curve_rank_of_cells((4, 4, 4))
+        assert (order[rank] == np.arange(64)).all()
+
+    def test_non_cubic_shapes(self):
+        order = curve_order((8, 2, 5), "hilbert")
+        assert len(order) == 80
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError):
+            curve_order((4, 4, 4), "peano")
+
+    def test_hilbert_locality_beats_c_order(self):
+        """Mean jump distance along the Hilbert curve is far below raveled
+        C order for a cube."""
+        shape = (8, 8, 8)
+        order = curve_order(shape, "hilbert")
+        coords = np.stack(np.unravel_index(order, shape), axis=1)
+        hilbert_jump = np.abs(np.diff(coords, axis=0)).sum(axis=1).mean()
+        c_coords = np.stack(np.unravel_index(np.arange(512), shape), axis=1)
+        c_jump = np.abs(np.diff(c_coords, axis=0)).sum(axis=1).mean()
+        assert hilbert_jump < c_jump

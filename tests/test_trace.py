@@ -1,0 +1,102 @@
+"""Tests for adaptation traces."""
+
+import numpy as np
+import pytest
+
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.trace import AdaptationTrace, Snapshot
+
+
+def snap(step, shape=(8, 8, 8)):
+    return Snapshot(step=step, hierarchy=GridHierarchy(Box.from_shape(shape)))
+
+
+class TestSnapshot:
+    def test_properties(self):
+        s = snap(4)
+        assert s.num_patches == 1
+        assert s.total_cells == 512
+        assert s.load == 512.0
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            snap(-1)
+
+    def test_roundtrip(self):
+        s = snap(8)
+        back = Snapshot.from_dict(s.to_dict())
+        assert back.step == 8 and back.total_cells == 512
+
+
+class TestTrace:
+    def test_append_ordering(self):
+        tr = AdaptationTrace()
+        tr.append(snap(0))
+        tr.append(snap(4))
+        with pytest.raises(ValueError):
+            tr.append(snap(4))
+        with pytest.raises(ValueError):
+            tr.append(snap(2))
+
+    def test_constructor_validates_order(self):
+        with pytest.raises(ValueError):
+            AdaptationTrace(snapshots=[snap(4), snap(0)])
+
+    def test_at_step(self):
+        tr = AdaptationTrace(snapshots=[snap(0), snap(4), snap(8)])
+        assert tr.at_step(0).step == 0
+        assert tr.at_step(5).step == 4
+        assert tr.at_step(100).step == 8
+        with pytest.raises(ValueError):
+            tr.at_step(-1)
+
+    def test_at_step_empty(self):
+        with pytest.raises(ValueError):
+            AdaptationTrace().at_step(0)
+
+    def test_series(self):
+        tr = AdaptationTrace(snapshots=[snap(0), snap(4)])
+        assert tr.steps() == [0, 4]
+        assert tr.load_series().shape == (2,)
+        assert tr.patch_count_series().tolist() == [1, 1]
+
+    def test_refinement_activity_constant_trace(self):
+        tr = AdaptationTrace(snapshots=[snap(0), snap(4), snap(8)])
+        assert (tr.refinement_activity() == 0).all()
+
+    def test_json_roundtrip(self):
+        tr = AdaptationTrace(snapshots=[snap(0), snap(4)], meta={"app": "x"})
+        back = AdaptationTrace.from_json(tr.to_json())
+        assert len(back) == 2
+        assert back.meta["app"] == "x"
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = AdaptationTrace(snapshots=[snap(0)], meta={"app": "y"})
+        path = tmp_path / "trace.json.gz"
+        tr.save(path)
+        back = AdaptationTrace.load(path)
+        assert len(back) == 1 and back.meta["app"] == "y"
+
+
+class TestReports:
+    def test_hierarchy_report(self):
+        from repro.amr import hierarchy_report
+
+        h = snap(0).hierarchy
+        text = hierarchy_report(h)
+        assert "GridHierarchy" in text and "level" in text
+
+    def test_trace_report(self):
+        from repro.amr import trace_report
+
+        tr = AdaptationTrace(snapshots=[snap(0), snap(4), snap(8)],
+                             meta={"app": "demo"})
+        text = trace_report(tr, every=2)
+        assert "3 snapshots" in text and "demo" in text
+
+    def test_trace_report_validation(self):
+        from repro.amr import trace_report
+
+        with pytest.raises(ValueError):
+            trace_report(AdaptationTrace(), every=0)

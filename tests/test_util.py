@@ -1,0 +1,114 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_shape3,
+    ensure_rng,
+    load_imbalance,
+    max_load_imbalance_pct,
+    normalize,
+    percentage_improvement,
+    relative_error,
+    spawn_rng,
+    weighted_sum,
+)
+
+
+class TestRng:
+    def test_ensure_from_seed(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_ensure_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_independent(self):
+        children = spawn_rng(ensure_rng(1), 3)
+        vals = [c.random() for c in children]
+        assert len(set(vals)) == 3
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0.0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    def test_check_in_range(self):
+        check_in_range("x", 0.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_check_shape3(self):
+        assert check_shape3("s", [4, 5, 6]) == (4, 5, 6)
+        with pytest.raises(ValueError):
+            check_shape3("s", [4, 5])
+        with pytest.raises(ValueError):
+            check_shape3("s", [4, 0, 6])
+
+
+class TestStats:
+    def test_load_imbalance_balanced(self):
+        assert load_imbalance(np.array([2.0, 2.0, 2.0])) == 1.0
+        assert max_load_imbalance_pct(np.array([2.0, 2.0])) == 0.0
+
+    def test_load_imbalance_skewed(self):
+        assert load_imbalance(np.array([4.0, 0.0])) == 2.0
+        assert max_load_imbalance_pct(np.array([4.0, 0.0])) == 100.0
+
+    def test_zero_loads_defined(self):
+        assert load_imbalance(np.zeros(4)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance(np.array([]))
+
+    def test_normalize(self):
+        out = normalize(np.array([1.0, 2.0, 4.0]))
+        assert out.tolist() == [0.25, 0.5, 1.0]
+        assert normalize(np.zeros(3)).tolist() == [0.0, 0.0, 0.0]
+        with pytest.raises(ValueError):
+            normalize(np.array([-1.0, 1.0]))
+
+    def test_weighted_sum(self):
+        parts = {"a": np.array([1.0, 0.0]), "b": np.array([0.0, 1.0])}
+        out = weighted_sum(parts, {"a": 0.75, "b": 0.25})
+        assert out.tolist() == [0.75, 0.25]
+
+    def test_weighted_sum_validation(self):
+        parts = {"a": np.ones(2)}
+        with pytest.raises(ValueError):
+            weighted_sum(parts, {"b": 1.0})
+        with pytest.raises(ValueError):
+            weighted_sum(parts, {"a": 0.5})
+
+    def test_relative_error(self):
+        assert relative_error(1.05, 1.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_percentage_improvement(self):
+        assert percentage_improvement(100.0, 80.0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            percentage_improvement(0.0, 1.0)
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=20))
+    def test_imbalance_at_least_one(self, loads):
+        assert load_imbalance(np.array(loads)) >= 1.0 - 1e-12
