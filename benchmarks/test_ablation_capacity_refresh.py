@@ -7,7 +7,6 @@ expects dynamics to make refresh matter.  On a *drifting* background load
 one-shot estimate; on a *static* heterogeneous load the two should tie.
 """
 
-import numpy as np
 
 from repro.apps.loadgen import LoadPattern
 from repro.core import CapacityCalculator, CapacityWeights

@@ -6,7 +6,6 @@ than the greedy fill, at a partitioning-time cost that stays negligible
 next to a solver step.
 """
 
-import time
 
 import numpy as np
 

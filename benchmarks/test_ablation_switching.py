@@ -6,7 +6,7 @@ selection lag for fewer partitioner switches; total runtime should stay
 within a few percent while the switch count drops.
 """
 
-from repro.core import MetaPartitioner, PragmaRuntime
+from repro.core import MetaPartitioner
 from repro.execsim import ExecutionSimulator
 from repro.gridsys import sp2_blue_horizon
 

@@ -9,7 +9,8 @@ paper's evaluation depends on: a structured AMR simulator
 (:mod:`repro.amr`), synthetic adaptive applications (:mod:`repro.apps`),
 a grid/cluster simulator (:mod:`repro.gridsys`), the SAMR partitioner
 suite (:mod:`repro.partitioners`), and a discrete-event execution
-simulator (:mod:`repro.execsim`).
+simulator (:mod:`repro.execsim`).  The pipeline itself is observable
+through :mod:`repro.obs` (metrics, spans, run reports), off by default.
 
 The top-level facade lives in :mod:`repro.core`:
 
@@ -31,4 +32,5 @@ __all__ = [
     "agents",
     "execsim",
     "core",
+    "obs",
 ]

@@ -16,9 +16,8 @@ the current application state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.agents.message_center import MessageCenter
 from repro.amr.hierarchy import GridHierarchy

@@ -12,9 +12,10 @@ immediate access to all relevant information" (Section 4.7).
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.agents.messages import Message
 
 __all__ = ["Port", "MessageCenter"]
@@ -36,7 +37,7 @@ class MessageCenter:
 
     def __init__(self) -> None:
         self._ports: dict[str, Port] = {}
-        self._subscriptions: dict[str, set[str]] = defaultdict(set)
+        self._subscriptions: dict[str, set[str]] = {}
         self._delivered = 0
 
     # -- ports ------------------------------------------------------------------
@@ -52,12 +53,20 @@ class MessageCenter:
         return port
 
     def unregister(self, name: str) -> None:
-        """Remove a mailbox and all its subscriptions."""
+        """Remove a mailbox and all its subscriptions.
+
+        Topics whose subscriber set becomes empty are pruned, so
+        long-lived agent networks with churning membership don't grow the
+        subscription table unboundedly.
+        """
         if name not in self._ports:
             raise KeyError(f"no port named {name!r}")
         del self._ports[name]
-        for subscribers in self._subscriptions.values():
+        for topic in list(self._subscriptions):
+            subscribers = self._subscriptions[topic]
             subscribers.discard(name)
+            if not subscribers:
+                del self._subscriptions[topic]
 
     def has_port(self, name: str) -> bool:
         """True if a mailbox exists for ``name``."""
@@ -69,8 +78,11 @@ class MessageCenter:
         """Place a message on the destination's mailbox."""
         if message.dest not in self._ports:
             raise KeyError(f"no port named {message.dest!r}")
-        self._ports[message.dest].mailbox.append(message)
+        box = self._ports[message.dest].mailbox
+        box.append(message)
         self._delivered += 1
+        obs.counter("mc.sends").inc()
+        obs.gauge("mc.mailbox_hwm", port=message.dest).set_max(len(box))
 
     def receive(self, port_name: str) -> Message | None:
         """Pop the oldest message from a mailbox, or ``None`` if empty."""
@@ -94,7 +106,27 @@ class MessageCenter:
             raise KeyError(f"no port named {port_name!r}")
         if not topic:
             raise ValueError("topic must be non-empty")
-        self._subscriptions[topic].add(port_name)
+        self._subscriptions.setdefault(topic, set()).add(port_name)
+
+    def unsubscribe(self, port_name: str, topic: str) -> None:
+        """Stop delivering ``topic`` publications to ``port_name``.
+
+        Idempotent for subscriptions that don't exist; raises ``KeyError``
+        only for an unknown port (matching :meth:`subscribe`).  A topic
+        left with no subscribers is pruned from the subscription table.
+        """
+        if port_name not in self._ports:
+            raise KeyError(f"no port named {port_name!r}")
+        subscribers = self._subscriptions.get(topic)
+        if subscribers is None:
+            return
+        subscribers.discard(port_name)
+        if not subscribers:
+            del self._subscriptions[topic]
+
+    def topics(self) -> tuple[str, ...]:
+        """Topics that currently have at least one subscriber (sorted)."""
+        return tuple(sorted(self._subscriptions))
 
     def publish(self, sender: str, topic: str, payload: dict, time: float = 0.0) -> int:
         """Fan a message out to every subscriber of ``topic``.
@@ -110,6 +142,8 @@ class MessageCenter:
                             payload=payload, time=time)
                 )
                 count += 1
+        obs.counter("mc.publishes").inc()
+        obs.counter("mc.fanout", topic=topic).inc(count)
         return count
 
     @property

@@ -9,7 +9,7 @@ buffer, and Berger–Rigoutsos clustering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,6 +9,15 @@ corresponding table or figure, e.g.::
 
 The heavyweight experiments (table3/4/5, fig3) consume the reference RM3D
 trace, generated once (~30 s) and cached under ``.cache/``.
+
+There is also an observability verb::
+
+    python -m repro report                  # text run report
+    python -m repro report --json           # JSON document on stdout
+    python -m repro report --json out.json  # JSON document to a file
+
+which drives the quickstart scenario under the metrics/tracing layer
+(:mod:`repro.obs`) and summarizes where time goes.
 """
 
 from __future__ import annotations
@@ -32,8 +41,66 @@ def _run_one(name: str, trace) -> str:
     return module.render(result)
 
 
+def report_main(argv: list[str]) -> int:
+    """The ``report`` verb: observed quickstart run -> text or JSON."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Run the quickstart scenario under the observability "
+        "layer and report per-phase timings, partitioner switching and "
+        "message-center traffic.",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the report as JSON to PATH ('-' or no value: stdout)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=160,
+        help="coarse steps for the trace-replay runs (default 160)",
+    )
+    parser.add_argument(
+        "--online-steps", type=int, default=48,
+        help="coarse steps for the event-driven online run (default 48; "
+        "0 disables it)",
+    )
+    parser.add_argument(
+        "--spans", action="store_true",
+        help="include individual span records in the JSON output",
+    )
+    args = parser.parse_args(argv)
+    if args.steps < 1:
+        parser.error(f"--steps must be >= 1, got {args.steps}")
+    if args.online_steps < 0:
+        parser.error(f"--online-steps must be >= 0, got {args.online_steps}")
+
+    from repro.obs.export import export_json
+    from repro.obs.report import collect_run_report
+
+    print("running the observed quickstart scenario ...", file=sys.stderr)
+    report = collect_run_report(
+        num_coarse_steps=args.steps,
+        online_steps=args.online_steps,
+        include_spans=args.spans,
+    )
+    if args.json is None:
+        print(report.render())
+    elif args.json == "-":
+        export_json(report.to_dict(), sys.stdout)
+    else:
+        export_json(report.to_dict(), args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of the Pragma paper "

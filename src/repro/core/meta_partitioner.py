@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.amr.trace import Snapshot
 from repro.execsim.selector import PartitionerSelector, SelectorDecision
 from repro.partitioners import PARTITIONER_REGISTRY
@@ -59,8 +60,11 @@ class MetaPartitioner(PartitionerSelector):
             previous.hierarchy if previous is not None else None,
             self.thresholds,
         )
+        obs.counter("meta.classifications", octant=octant.value).inc()
         decision = self._decision_for(octant)
         decision = self._apply_hysteresis(octant, decision)
+        if self.selections and decision.label != self.selections[-1][2]:
+            obs.counter("meta.switches").inc()
         self.selections.append(
             (snapshot.step, decision.octant or octant.value, decision.label)
         )
@@ -76,10 +80,12 @@ class MetaPartitioner(PartitionerSelector):
         state = {"octant": octant, **self.system_state}
         action = self.kb.merged_action(state)
         if "partitioner" not in action:
+            obs.counter("meta.policy_lookups", result="miss").inc()
             raise LookupError(
                 f"policy base has no partitioner recommendation for "
                 f"octant {octant.value}"
             )
+        obs.counter("meta.policy_lookups", result="hit").inc()
         name = action["partitioner"]
         if name not in PARTITIONER_REGISTRY:
             raise LookupError(f"policy recommends unknown partitioner {name!r}")
@@ -114,6 +120,7 @@ class MetaPartitioner(PartitionerSelector):
             self._pending_octant = None
             return decision
         # Keep the previous partitioner but report the new octant.
+        obs.counter("meta.hysteresis_holds").inc()
         prev = self._last
         return SelectorDecision(
             partitioner=prev.partitioner,

@@ -11,7 +11,7 @@ partitioning cost) and letting imbalance drift until the agents object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

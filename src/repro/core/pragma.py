@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.amr.regrid import RegridPolicy
 from repro.amr.trace import AdaptationTrace
 from repro.apps.base import SyntheticApplication, generate_trace
@@ -57,8 +58,15 @@ class AdaptiveRunReport:
     @property
     def improvement_over_worst_pct(self) -> float:
         """Adaptive improvement over the slowest static scheme (Table 4's
-        headline: 27.2 % on 64 processors)."""
+        headline: 27.2 % on 64 processors).
+
+        A degenerate trace (e.g. one snapshot covering zero coarse steps)
+        can make every static runtime 0.0; report 0.0 improvement instead
+        of dividing by zero.
+        """
         worst = self.worst_static_runtime
+        if worst == 0.0:
+            return 0.0
         return 100.0 * (worst - self.adaptive.total_runtime) / worst
 
 
@@ -113,14 +121,16 @@ class PragmaRuntime:
             self.cluster, num_procs=self.num_procs, cost_model=self.cost_model
         )
         meta = self.meta_partitioner(hysteresis=hysteresis)
-        adaptive = sim.run(trace, meta)
+        with obs.span("pragma.run_adaptive", selector="meta"):
+            adaptive = sim.run(trace, meta)
         static: dict[str, RunResult] = {}
         for name in compare_with:
             if name not in PARTITIONER_REGISTRY:
                 raise ValueError(f"unknown partitioner {name!r}")
-            static[name] = sim.run(
-                trace, StaticSelector(PARTITIONER_REGISTRY[name]())
-            )
+            with obs.span("pragma.run_static", partitioner=name):
+                static[name] = sim.run(
+                    trace, StaticSelector(PARTITIONER_REGISTRY[name]())
+                )
         return AdaptiveRunReport(
             adaptive=adaptive,
             static=static,

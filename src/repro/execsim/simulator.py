@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.amr.trace import AdaptationTrace
 from repro.execsim.costmodel import CostModel
-from repro.execsim.selector import PartitionerSelector, SelectorDecision
+from repro.execsim.selector import PartitionerSelector
 from repro.gridsys.cluster import Cluster
 from repro.partitioners.base import Partition
 from repro.partitioners.metrics import PACMetrics, evaluate_partition
@@ -214,11 +214,19 @@ class ExecutionSimulator:
         """Simulate the full run described by ``trace``.
 
         ``num_coarse_steps`` defaults to the trace metadata (or the last
-        snapshot's step + the first interval).
+        snapshot's step + the first interval).  An explicit value must be
+        a positive integer — ``0`` is rejected rather than silently
+        falling back to the trace metadata.
         """
         if len(trace) == 0:
             raise ValueError("trace is empty")
-        total_steps = num_coarse_steps or trace.meta.get("num_coarse_steps")
+        total_steps = num_coarse_steps
+        if total_steps is None:
+            total_steps = trace.meta.get("num_coarse_steps")
+        elif total_steps < 1:
+            raise ValueError(
+                f"num_coarse_steps must be >= 1, got {num_coarse_steps}"
+            )
         if total_steps is None:
             steps = trace.steps()
             interval = steps[1] - steps[0] if len(steps) > 1 else 1
@@ -228,47 +236,57 @@ class ExecutionSimulator:
         prev_partition: Partition | None = None
         sim_time = 0.0
 
-        for idx, snap in enumerate(trace):
-            next_step = (
-                trace[idx + 1].step if idx + 1 < len(trace) else total_steps
-            )
-            coarse_steps = max(next_step - snap.step, 0)
-            if coarse_steps == 0:
-                continue
-            previous_snap = trace[idx - 1] if idx > 0 else None
-            decision = selector.decide(snap, previous_snap)
-            units = build_units(
-                snap.hierarchy, granularity=decision.granularity,
-                curve="hilbert",
-            )
-            partition = decision.partitioner.partition(
-                units, self.num_procs, self.capacities
-            )
-            metrics = evaluate_partition(partition, prev_partition)
-
-            comp_t, comm_t, ghost = self._interval_cost(
-                partition, snap.hierarchy, coarse_steps, sim_time
-            )
-            regrid_t = self._regrid_cost(metrics, partition, snap)
-            result.proc_work += partition.proc_loads() * coarse_steps
-            sim_time += comp_t + comm_t + regrid_t
-
-            result.records.append(
-                StepRecord(
-                    step=snap.step,
-                    label=decision.label or decision.partitioner.name,
-                    octant=decision.octant,
-                    coarse_steps=coarse_steps,
-                    compute_time=comp_t,
-                    comm_time=comm_t,
-                    regrid_time=regrid_t,
-                    imbalance_pct=max_load_imbalance_pct(partition.proc_loads()),
-                    metrics=metrics,
+        with obs.span("execsim.run", snapshots=len(trace)):
+            for idx, snap in enumerate(trace):
+                next_step = (
+                    trace[idx + 1].step if idx + 1 < len(trace) else total_steps
                 )
-            )
-            result.useful_work += snap.hierarchy.load_per_coarse_step() * coarse_steps
-            result.ghost_work += ghost * coarse_steps
-            prev_partition = partition
+                coarse_steps = max(next_step - snap.step, 0)
+                if coarse_steps == 0:
+                    continue
+                previous_snap = trace[idx - 1] if idx > 0 else None
+                decision = selector.decide(snap, previous_snap)
+                label = decision.label or decision.partitioner.name
+                with obs.span("partition", partitioner=label):
+                    units = build_units(
+                        snap.hierarchy, granularity=decision.granularity,
+                        curve="hilbert",
+                    )
+                    partition = decision.partitioner.partition(
+                        units, self.num_procs, self.capacities
+                    )
+                    metrics = evaluate_partition(partition, prev_partition)
+
+                comp_t, comm_t, ghost = self._interval_cost(
+                    partition, snap.hierarchy, coarse_steps, sim_time
+                )
+                regrid_t = self._regrid_cost(metrics, partition, snap)
+                result.proc_work += partition.proc_loads() * coarse_steps
+                sim_time += comp_t + comm_t + regrid_t
+
+                imbalance = max_load_imbalance_pct(partition.proc_loads())
+                obs.counter("execsim.intervals", partitioner=label).inc()
+                obs.counter("execsim.coarse_steps").inc(coarse_steps)
+                obs.histogram("execsim.imbalance_pct").observe(imbalance)
+
+                result.records.append(
+                    StepRecord(
+                        step=snap.step,
+                        label=label,
+                        octant=decision.octant,
+                        coarse_steps=coarse_steps,
+                        compute_time=comp_t,
+                        comm_time=comm_t,
+                        regrid_time=regrid_t,
+                        imbalance_pct=imbalance,
+                        metrics=metrics,
+                    )
+                )
+                result.useful_work += (
+                    snap.hierarchy.load_per_coarse_step() * coarse_steps
+                )
+                result.ghost_work += ghost * coarse_steps
+                prev_partition = partition
         return result
 
     # -- cost integration ------------------------------------------------------------
@@ -281,6 +299,21 @@ class ExecutionSimulator:
         t0: float,
     ) -> tuple[float, float, float]:
         """(compute seconds, comm seconds, ghost work per coarse step)."""
+        with obs.span("interval_cost", coarse_steps=coarse_steps):
+            comp, comm, ghost = self._interval_cost_inner(
+                partition, hierarchy, coarse_steps, t0
+            )
+        obs.counter("execsim.sim_seconds", phase="compute").inc(comp)
+        obs.counter("execsim.sim_seconds", phase="comm").inc(comm)
+        return comp, comm, ghost
+
+    def _interval_cost_inner(
+        self,
+        partition: Partition,
+        hierarchy,
+        coarse_steps: int,
+        t0: float,
+    ) -> tuple[float, float, float]:
         cost = self.cost
         loads = partition.proc_loads()
         comm_per_step, ghost_work = per_step_comm_times(
@@ -361,8 +394,9 @@ class ExecutionSimulator:
             overhead_t += (
                 snap.hierarchy.num_patches * cost.seconds_per_patch_shuffle
             )
-        return (
-            metrics.partition_time * self.partition_time_scale
-            + migration_t
-            + overhead_t
+        partition_t = metrics.partition_time * self.partition_time_scale
+        obs.counter("execsim.sim_seconds", phase="partition").inc(partition_t)
+        obs.counter("execsim.sim_seconds", phase="regrid").inc(
+            migration_t + overhead_t
         )
+        return partition_t + migration_t + overhead_t

@@ -8,7 +8,6 @@ migrate) are exercised against schedules from this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.util.rng import ensure_rng
 

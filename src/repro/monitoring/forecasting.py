@@ -16,6 +16,8 @@ from collections import deque
 
 import numpy as np
 
+from repro import obs
+
 __all__ = [
     "Predictor",
     "LastValue",
@@ -255,6 +257,7 @@ class ForecasterEnsemble:
         self._err = np.zeros(len(predictors))
         self._weight = np.zeros(len(predictors))
         self._n = 0
+        self._last_best: int | None = None
 
     def update(self, value: float) -> None:
         """Score standing forecasts against ``value``, then absorb it."""
@@ -267,6 +270,17 @@ class ForecasterEnsemble:
         for p in self.predictors:
             p.update(v)
         self._n += 1
+        if obs.enabled():
+            # Predictor-selection churn: how often the postcast winner
+            # changes.  Gated so the disabled path skips the argmin.
+            obs.counter("forecast.updates").inc()
+            best = self.best_index
+            if self._last_best is not None and best != self._last_best:
+                obs.counter(
+                    "forecast.selection_switches",
+                    predictor=self.predictors[best].name,
+                ).inc()
+            self._last_best = best
 
     @property
     def best_index(self) -> int:

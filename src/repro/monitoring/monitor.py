@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.gridsys.cluster import Cluster
 from repro.monitoring.forecasting import ForecasterEnsemble, default_ensemble
 from repro.monitoring.sensors import (
@@ -82,6 +83,8 @@ class ResourceMonitor:
             v = sensor.measure(t)
             self._streams[key].append(t, v)
             self._forecasters[key].update(v)
+        obs.counter("monitor.samples").inc(len(self._sensors))
+        obs.counter("monitor.sweeps").inc()
 
     def sample_range(self, t0: float, t1: float, period: float = 1.0) -> None:
         """Sample periodically over [t0, t1) with the given period."""

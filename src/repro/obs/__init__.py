@@ -1,0 +1,163 @@
+"""Observability for the Pragma reproduction pipeline.
+
+The paper argues runtime management must be measurement-driven; this
+package turns the same lens on the reproduction itself.  It holds one
+process-local :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.tracing.Tracer`, both defaulting to zero-cost null
+implementations so instrumented hot paths (the execution simulator, the
+meta-partitioner, the CATALINA message center, the resource monitor) pay
+nothing unless a collection window is open.
+
+Usage::
+
+    from repro import obs
+
+    with obs.collect() as window:        # enable for a scoped window
+        report = runtime.run_adaptive(trace)
+    window.registry.counter_value("execsim.intervals")
+    window.tracer.totals_by_path()
+
+or imperatively with :func:`enable` / :func:`disable`.  Instrumented call
+sites go through the module-level helpers (:func:`counter`, :func:`gauge`,
+:func:`histogram`, :func:`span`), which dispatch to whatever registry and
+tracer are currently installed.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import export_json, export_jsonl, observability_snapshot
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "enabled",
+    "enable",
+    "disable",
+    "collect",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "export_json",
+    "export_jsonl",
+    "observability_snapshot",
+]
+
+_NULL_REGISTRY = NullRegistry()
+_NULL_TRACER = NullTracer()
+
+_registry: MetricsRegistry = _NULL_REGISTRY
+_tracer: Tracer = _NULL_TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed metrics registry (null when disabled)."""
+    return _registry
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (null when disabled)."""
+    return _tracer
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide sink; returns it."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns it."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def enabled() -> bool:
+    """True when a real (non-null) registry is installed."""
+    return _registry.enabled
+
+
+def enable() -> tuple[MetricsRegistry, Tracer]:
+    """Install a fresh real registry + tracer; returns both."""
+    return set_registry(MetricsRegistry()), set_tracer(Tracer())
+
+
+def disable() -> None:
+    """Restore the zero-cost null registry and tracer."""
+    global _registry, _tracer
+    _registry = _NULL_REGISTRY
+    _tracer = _NULL_TRACER
+
+
+class _CollectionWindow:
+    """Scoped enable/disable; exposes the registry and tracer it owned."""
+
+    __slots__ = ("registry", "tracer", "_prev")
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    def __enter__(self) -> _CollectionWindow:
+        self._prev = (_registry, _tracer)
+        set_registry(self.registry)
+        set_tracer(self.tracer)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        prev_registry, prev_tracer = self._prev
+        set_registry(prev_registry)
+        set_tracer(prev_tracer)
+
+
+def collect() -> _CollectionWindow:
+    """Context manager opening a fresh collection window.
+
+    On exit the previously installed registry/tracer (usually the null
+    defaults) are restored; the window keeps its ``registry`` and
+    ``tracer`` for inspection and export.
+    """
+    return _CollectionWindow()
+
+
+# -- instrumentation helpers (what call sites import) -------------------------
+
+
+def counter(name: str, **labels: object) -> Counter:
+    """Counter from the installed registry (no-op when disabled)."""
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: object) -> Gauge:
+    """Gauge from the installed registry (no-op when disabled)."""
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: object) -> Histogram:
+    """Histogram from the installed registry (no-op when disabled)."""
+    return _registry.histogram(name, **labels)
+
+
+def span(name: str, **attrs: object):
+    """Span context manager from the installed tracer (no-op when disabled)."""
+    return _tracer.span(name, **attrs)

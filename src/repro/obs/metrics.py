@@ -1,0 +1,287 @@
+"""Process-local metrics: counters, gauges and histograms with labels.
+
+Pragma's premise is that runtime management must be driven by measurement.
+This module gives the reproduction a measurement substrate of its own: a
+:class:`MetricsRegistry` hands out named instruments, optionally
+distinguished by label sets (``registry.counter("mc.fanout",
+topic="octant-transition")``), and snapshots the whole collection as plain
+dictionaries for the JSON exporters.
+
+Instrumented call sites must be free when observability is off, so the
+module also defines :class:`NullRegistry`: every instrument it returns is
+a shared no-op singleton, making ``obs.counter(...).inc()`` a pair of
+cheap method calls with no allocation and no bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+]
+
+#: a label set frozen into a dictionary key
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (events, accumulated seconds)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current accumulated total."""
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value that can move both ways (mailbox depth)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if larger (high-water marks)."""
+        if value > self._value:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge reading."""
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max — enough for the run reports without storing
+    samples.  ``mean`` is derived.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples seen so far (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean as a plain dict (empty-safe)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with snapshot/reset.
+
+    Instruments are created on first use and cached by
+    ``(name, sorted labels)``; repeated lookups return the same object, so
+    call sites may either hold a handle or re-look-up each time.
+    Thread-safe for instrument creation (updates on the instruments
+    themselves are plain float arithmetic, adequate for the in-process
+    simulators here).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    def _get(self, table: dict, cls, name: str, labels: dict):
+        key = (name, _label_key(labels))
+        inst = table.get(key)
+        if inst is None:
+            with self._lock:
+                inst = table.setdefault(key, cls(name, key[1]))
+        return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter registered under ``name`` + ``labels``."""
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge registered under ``name`` + ``labels``."""
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram registered under ``name`` + ``labels``."""
+        return self._get(self._histograms, Histogram, name, labels)
+
+    # -- introspection ---------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Read a counter without creating it (0.0 when absent)."""
+        inst = self._counters.get((name, _label_key(labels)))
+        return inst.value if inst is not None else 0.0
+
+    def sum_counters(self, name: str) -> float:
+        """Total over every label set registered under ``name``."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def snapshot(self) -> dict:
+        """All instruments as nested plain dictionaries (JSON-ready)."""
+
+        def rows(table, value_of):
+            out: dict[str, list] = {}
+            for (name, labels), inst in sorted(table.items()):
+                out.setdefault(name, []).append(
+                    {"labels": dict(labels), "value": value_of(inst)}
+                )
+            return out
+
+        return {
+            "counters": rows(self._counters, lambda c: c.value),
+            "gauges": rows(self._gauges, lambda g: g.value),
+            "histograms": rows(self._histograms, lambda h: h.summary()),
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh collection window)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled path."""
+
+    __slots__ = ()
+    name = ""
+    labels: _LabelKey = ()
+    count = 0
+    total = 0.0
+    min = math.inf
+    max = -math.inf
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def mean(self) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-cost default: every instrument is one shared no-op.
+
+    Keeps tier-1 timings honest — with the null registry installed an
+    instrumented call site costs one method call returning a singleton
+    plus one no-op method call, with no locking, lookup or allocation.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 — deliberately skips parent init
+        pass
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Always 0.0 — nothing is recorded."""
+        return 0.0
+
+    def sum_counters(self, name: str) -> float:
+        """Always 0.0 — nothing is recorded."""
+        return 0.0
+
+    def snapshot(self) -> dict:
+        """An empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        """Nothing to reset."""

@@ -1,0 +1,160 @@
+"""Lightweight span tracer: nested wall-clock timings of the pipeline.
+
+``with tracer.span("partition", partitioner="SFC"):`` times a region with
+``time.perf_counter`` and records it as a :class:`SpanRecord` carrying its
+slash-joined path ("execsim.run/interval/partition"), depth, offset from
+the tracer's epoch, duration and attributes.  Spans nest via a plain
+stack, so the records reconstruct the call tree without any parent-id
+bookkeeping at runtime.
+
+As with the metrics registry, a :class:`NullTracer` keeps the disabled
+path free: its ``span`` returns one shared context manager whose
+``__enter__``/``__exit__`` do nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    path: str
+    depth: int
+    start: float
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _Span:
+    """Context manager timing one region and appending its record."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_path", "_depth", "_t0")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> _Span:
+        stack = self._tracer._stack
+        self._path = f"{stack[-1]}/{self.name}" if stack else self.name
+        self._depth = len(stack)
+        stack.append(self._path)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        self._tracer._stack.pop()
+        self._tracer.records.append(
+            SpanRecord(
+                name=self.name,
+                path=self._path,
+                depth=self._depth,
+                start=self._t0 - self._tracer.epoch,
+                duration=end - self._t0,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects nested wall-clock spans in completion order."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.records: list[SpanRecord] = []
+        self._stack: list[str] = []
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        """A context manager timing ``name`` under the current span."""
+        return _Span(self, name, attrs)
+
+    def totals_by_path(self) -> dict[str, float]:
+        """Summed duration per span path (the profile view)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.path] = out.get(r.path, 0.0) + r.duration
+        return out
+
+    def counts_by_path(self) -> dict[str, int]:
+        """Number of spans recorded per path."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.path] = out.get(r.path, 0) + 1
+        return out
+
+    def to_dicts(self) -> list[dict]:
+        """Every span as a plain dict, in completion order."""
+        return [r.as_dict() for r in self.records]
+
+    def reset(self) -> None:
+        """Drop recorded spans and restart the epoch."""
+        self.records.clear()
+        self._stack.clear()
+        self.epoch = time.perf_counter()
+
+
+class _NullSpan:
+    """Shared do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The zero-cost default tracer: spans are one shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 — deliberately skips parent init
+        self.epoch = 0.0
+        self.records = ()  # type: ignore[assignment]
+        self._stack = ()  # type: ignore[assignment]
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        """The shared no-op context manager."""
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def totals_by_path(self) -> dict[str, float]:
+        """Always empty."""
+        return {}
+
+    def counts_by_path(self) -> dict[str, int]:
+        """Always empty."""
+        return {}
+
+    def to_dicts(self) -> list[dict]:
+        """Always empty."""
+        return []
+
+    def reset(self) -> None:
+        """Nothing to reset."""

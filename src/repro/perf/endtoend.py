@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.perf.components import EthernetSwitch, MatMulHost, SimulatedComponent
+from repro.perf.components import EthernetSwitch, MatMulHost
 from repro.perf.fitting import FittedPF, fit_neural
 from repro.perf.functions import SumPF
 from repro.util.rng import ensure_rng

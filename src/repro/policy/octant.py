@@ -41,7 +41,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.amr.hierarchy import GridHierarchy
-from repro.amr.trace import AdaptationTrace, Snapshot
+from repro.amr.trace import AdaptationTrace
 
 __all__ = [
     "Octant",

@@ -7,7 +7,7 @@ import pytest
 
 from repro.amr.box import Box
 from repro.amr.regrid import Regridder, RegridPolicy
-from repro.amr.trace import AdaptationTrace, Snapshot
+from repro.amr.trace import AdaptationTrace
 from repro.apps.rm3d import RM3D, RM3DConfig
 from repro.apps.base import generate_trace
 from repro.gridsys.cluster import linux_cluster, sp2_blue_horizon

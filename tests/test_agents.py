@@ -3,7 +3,6 @@
 import pytest
 
 from repro.agents import (
-    ApplicationDelegatedManager,
     ComponentAgent,
     ComponentState,
     ManagedComponent,
@@ -20,7 +19,7 @@ from repro.agents import (
     TemplateRegistry,
     builtin_templates,
 )
-from repro.gridsys import FailureEvent, linux_cluster, sp2_blue_horizon
+from repro.gridsys import FailureEvent, linux_cluster
 
 
 class TestMessageCenter:

@@ -13,7 +13,7 @@ from repro.apps import (
     SupernovaConfig,
     generate_trace,
 )
-from repro.apps.fields import combine, gaussian_blob, grid_coords, planar_sheet, slab
+from repro.apps.fields import combine, gaussian_blob, planar_sheet, slab
 
 
 class TestFields:

@@ -1,6 +1,5 @@
 """Tests for the Pragma core: capacity, meta-partitioner, pipelines, facade."""
 
-import numpy as np
 import pytest
 
 from repro.apps.loadgen import LoadPattern
@@ -14,7 +13,6 @@ from repro.core import (
 from repro.gridsys import linux_cluster, sp2_blue_horizon
 from repro.monitoring import ResourceMonitor
 from repro.policy import Octant, TABLE2_RECOMMENDATIONS
-from repro.policy.octant import OctantThresholds
 
 
 class TestCapacityWeights:
@@ -136,6 +134,20 @@ class TestPragmaRuntime:
         rt = PragmaRuntime(cluster=sp2_blue_horizon(4))
         with pytest.raises(ValueError):
             rt.run_adaptive(small_rm3d_trace, compare_with=("magic",))
+
+    def test_zero_runtime_report_properties(self):
+        """All-zero static runtimes must not raise ZeroDivisionError."""
+        from repro.core.pragma import AdaptiveRunReport
+        from repro.execsim.simulator import RunResult
+
+        rep = AdaptiveRunReport(
+            adaptive=RunResult(),
+            static={"SFC": RunResult(), "pBD-ISP": RunResult()},
+            octant_timeline=(),
+        )
+        assert rep.worst_static_runtime == 0.0
+        assert rep.best_static_runtime == 0.0
+        assert rep.improvement_over_worst_pct == 0.0
 
     def test_capacities_helper(self):
         rt = PragmaRuntime(cluster=linux_cluster(4, seed=2))

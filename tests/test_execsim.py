@@ -1,6 +1,5 @@
 """Tests for the execution simulator."""
 
-import numpy as np
 import pytest
 
 from repro.amr.trace import AdaptationTrace
@@ -52,6 +51,22 @@ class TestSimulatorBasics:
         sim = ExecutionSimulator(sp2_blue_horizon(2))
         with pytest.raises(ValueError):
             sim.run(AdaptationTrace(), StaticSelector(ISPPartitioner()))
+
+    def test_zero_coarse_steps_rejected(self, small_rm3d_trace):
+        """An explicit num_coarse_steps=0 must fail loudly, not silently
+        fall back to the trace metadata (falsy-zero coalescing bug)."""
+        sim = ExecutionSimulator(sp2_blue_horizon(4))
+        selector = StaticSelector(ISPPartitioner())
+        with pytest.raises(ValueError, match="num_coarse_steps"):
+            sim.run(small_rm3d_trace, selector, num_coarse_steps=0)
+        with pytest.raises(ValueError, match="num_coarse_steps"):
+            sim.run(small_rm3d_trace, selector, num_coarse_steps=-4)
+
+    def test_explicit_coarse_steps_respected(self, small_rm3d_trace):
+        sim = ExecutionSimulator(sp2_blue_horizon(4))
+        selector = StaticSelector(ISPPartitioner())
+        res = sim.run(small_rm3d_trace, selector, num_coarse_steps=200)
+        assert sum(r.coarse_steps for r in res.records) == 200
 
     def test_proc_work_conserved(self, small_rm3d_trace):
         sim = ExecutionSimulator(sp2_blue_horizon(4))

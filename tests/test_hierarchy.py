@@ -1,6 +1,5 @@
 """Tests for the grid-hierarchy container."""
 
-import numpy as np
 import pytest
 
 from repro.amr.box import Box

@@ -5,9 +5,8 @@ import pytest
 
 from repro.amr.regrid import RegridPolicy
 from repro.amr.trace import AdaptationTrace
-from repro.apps import RM3D, RM3DConfig, Supernova, SupernovaConfig, generate_trace
+from repro.apps import Supernova, SupernovaConfig
 from repro.core import (
-    CapacityCalculator,
     MetaPartitioner,
     PragmaRuntime,
     PredictiveSelector,
@@ -15,7 +14,6 @@ from repro.core import (
 from repro.execsim import ExecutionSimulator, StaticSelector, per_step_comm_times
 from repro.execsim.costmodel import CostModel
 from repro.gridsys import linux_cluster, sp2_blue_horizon
-from repro.monitoring import ResourceMonitor
 from repro.partitioners import (
     GMISPSPPartitioner,
     ISPPartitioner,

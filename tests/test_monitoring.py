@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.gridsys import FailureEvent, linux_cluster, sp2_blue_horizon
+from repro.gridsys import FailureEvent, sp2_blue_horizon
 from repro.monitoring import (
     AdaptiveMean,
     ExponentialSmoothing,
@@ -15,7 +15,6 @@ from repro.monitoring import (
     RunningMean,
     SlidingMedian,
     SlidingWindowMean,
-    default_ensemble,
 )
 
 

@@ -1,6 +1,5 @@
 """Tests for the characterization agent and the online adaptive runtime."""
 
-import numpy as np
 import pytest
 
 from repro.agents import CharacterizationAgent, MessageCenter

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.amr.box import Box
 from repro.amr.workload import WorkloadMap
 from repro.partitioners import (
-    CompositeUnits,
     EqualPartitioner,
     GMISPPartitioner,
     GMISPSPPartitioner,

@@ -1,6 +1,5 @@
 """Tests for the octant classifier, fuzzy sets, rules and the policy base."""
 
-import numpy as np
 import pytest
 
 from repro.amr.box import Box

@@ -1,6 +1,5 @@
 """Tests for policy derivation and knowledge-base persistence."""
 
-import numpy as np
 import pytest
 
 from repro.policy import (

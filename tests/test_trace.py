@@ -1,6 +1,5 @@
 """Tests for adaptation traces."""
 
-import numpy as np
 import pytest
 
 from repro.amr.box import Box
