@@ -75,7 +75,9 @@ def test_obs_overhead_and_snapshot():
     print(json.dumps(snapshot["wall_clock"], indent=2))
 
     # The snapshot must carry the acceptance-criteria content.
-    assert set(doc["phases"]) == {"compute", "comm", "regrid", "partition"}
+    assert set(doc["phases"]) == {
+        "compute", "comm", "regrid", "partition", "checkpoint", "recovery",
+    }
     assert doc["phases"]["compute"] > 0.0
     assert "switches" in doc["partitioning"]
     assert doc["message_center"]["sends"] >= 0.0

@@ -16,7 +16,12 @@ of the CATALINA architecture of Figure 1 —
 """
 
 from repro.agents.messages import Message
-from repro.agents.message_center import MessageCenter, Port
+from repro.agents.message_center import (
+    DeadLetter,
+    DeliveryPolicy,
+    MessageCenter,
+    Port,
+)
 from repro.agents.component import ManagedComponent, ComponentState
 from repro.agents.sensors import ComponentSensor, ThroughputSensor, ProgressSensor
 from repro.agents.actuators import (
@@ -38,6 +43,8 @@ from repro.agents.characterization_agent import (
 
 __all__ = [
     "Message",
+    "DeadLetter",
+    "DeliveryPolicy",
     "MessageCenter",
     "Port",
     "ManagedComponent",

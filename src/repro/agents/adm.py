@@ -55,6 +55,7 @@ class ApplicationDelegatedManager:
         self.message_center.register(self.port_name)
         for topic in (
             "component-failed",
+            "node-failed",
             "requirement-violated.throughput",
             "requirement-violated.healthy",
         ):
@@ -75,6 +76,15 @@ class ApplicationDelegatedManager:
         handled: set[str] = set()
         while (msg := self.message_center.receive(self.port_name)) is not None:
             if msg.topic == "actuate-ack":
+                continue
+            if msg.topic == "node-failed":
+                # Failure-detector declaration: evacuate every component
+                # still placed on the dead node.
+                node = msg.payload.get("node")
+                for name, agent in self.agents.items():
+                    if agent.component.node_id == node and name not in handled:
+                        handled.add(name)
+                        self._direct_migration(t, name, dict(msg.payload))
                 continue
             comp_name = msg.payload.get("component")
             if comp_name is None or comp_name in handled:

@@ -20,7 +20,7 @@ from repro.agents.adm import ApplicationDelegatedManager
 from repro.agents.ame import ApplicationSpec
 from repro.agents.component import ComponentState, ManagedComponent
 from repro.agents.component_agent import ComponentAgent, Requirement
-from repro.agents.message_center import MessageCenter
+from repro.agents.message_center import DeliveryPolicy, MessageCenter
 from repro.agents.templates import Template, TemplateRegistry, builtin_templates
 from repro.gridsys.cluster import Cluster
 from repro.monitoring.monitor import ResourceMonitor
@@ -87,10 +87,12 @@ class ManagementComputingSystem:
         cluster: Cluster,
         registry: TemplateRegistry | None = None,
         monitor: ResourceMonitor | None = None,
+        delivery_policy: DeliveryPolicy | None = None,
     ) -> None:
         self.cluster = cluster
         self.registry = registry or builtin_templates()
         self.monitor = monitor
+        self.delivery_policy = delivery_policy
 
     def build_environment(self, spec: ApplicationSpec) -> ExecutionEnvironment:
         """Figure 1 pipeline: discover template, assign ADM, launch CAs."""
@@ -102,7 +104,7 @@ class ManagementComputingSystem:
         template = matches[0]
         bp = template.blueprint
 
-        mc = MessageCenter()
+        mc = MessageCenter(policy=self.delivery_policy)
         adm = ApplicationDelegatedManager(
             message_center=mc,
             cluster=self.cluster,

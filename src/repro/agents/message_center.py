@@ -8,17 +8,24 @@ placed on this mailbox."
 This implementation adds publish/subscribe on topics — the paper's agents
 "publish" local state to the message center so every agent has "direct and
 immediate access to all relevant information" (Section 4.7).
+
+Delivery is resilient: a :class:`DeliveryPolicy` can model lossy links
+(seeded, deterministic), per-send timeouts, and bounded exponential-backoff
+retries.  Undeliverable messages — unknown destination, timeout, or retry
+exhaustion — land on a dead-letter queue instead of raising, so one
+misaddressed message cannot take down the control network.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.agents.messages import Message
 
-__all__ = ["Port", "MessageCenter"]
+__all__ = ["DeadLetter", "DeliveryPolicy", "Port", "MessageCenter"]
 
 
 @dataclass(slots=True)
@@ -32,13 +39,76 @@ class Port:
         return len(self.mailbox)
 
 
+@dataclass(frozen=True, slots=True)
+class DeliveryPolicy:
+    """Link-quality and retry knobs for point-to-point delivery.
+
+    The default policy is a perfect link: no loss, no retries needed, no
+    timeout.  ``loss_rate`` drops each delivery attempt independently
+    (seeded — runs are reproducible); a dropped attempt is retried up to
+    ``max_retries`` times with capped exponential backoff.  The summed
+    backoff is simulated seconds, charged against ``send_timeout`` when
+    one is set.
+    """
+
+    #: probability a single delivery attempt is lost
+    loss_rate: float = 0.0
+    #: retries after the first attempt before dead-lettering
+    max_retries: int = 3
+    #: backoff before the first retry (simulated seconds)
+    backoff_base: float = 0.05
+    #: multiplier applied per retry
+    backoff_factor: float = 2.0
+    #: upper bound on a single backoff wait
+    backoff_cap: float = 2.0
+    #: total simulated seconds a send may spend retrying (None = unbounded)
+    send_timeout: float | None = None
+    #: seed for the loss process
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.send_timeout is not None and self.send_timeout <= 0:
+            raise ValueError(f"send_timeout must be > 0, got {self.send_timeout}")
+
+    def backoff(self, retry: int) -> float:
+        """Backoff before the ``retry``-th retry (0-based), capped."""
+        return min(self.backoff_base * self.backoff_factor**retry, self.backoff_cap)
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """A message the center could not deliver, and why."""
+
+    message: Message
+    #: "unregistered-destination", "timeout", or "max-retries"
+    reason: str
+    #: message timestamp at the time of failure
+    time: float
+    #: delivery attempts made (0 for an unknown destination)
+    attempts: int
+
+
 class MessageCenter:
     """Port registry, point-to-point delivery, and topic pub/sub."""
 
-    def __init__(self) -> None:
+    def __init__(self, policy: DeliveryPolicy | None = None) -> None:
+        self.policy = policy or DeliveryPolicy()
+        self._rng = random.Random(self.policy.seed)
         self._ports: dict[str, Port] = {}
         self._subscriptions: dict[str, set[str]] = {}
         self._delivered = 0
+        self._retries = 0
+        self.dead_letters: list[DeadLetter] = []
 
     # -- ports ------------------------------------------------------------------
 
@@ -74,15 +144,43 @@ class MessageCenter:
 
     # -- point-to-point -----------------------------------------------------------
 
-    def send(self, message: Message) -> None:
-        """Place a message on the destination's mailbox."""
+    def send(self, message: Message) -> bool:
+        """Deliver a message to the destination's mailbox.
+
+        Returns ``True`` on delivery.  A message that cannot be delivered
+        — unknown destination, retry budget exhausted on a lossy link, or
+        per-send timeout exceeded — is appended to :attr:`dead_letters`
+        with a reason, and ``False`` is returned.  Sending never raises:
+        the control network must survive a misaddressed message (e.g. a
+        migration order for a component that just deregistered).
+        """
         if message.dest not in self._ports:
-            raise KeyError(f"no port named {message.dest!r}")
+            self._dead_letter(message, "unregistered-destination", attempts=0)
+            return False
+
+        policy = self.policy
+        attempts = 1
+        waited = 0.0
+        while policy.loss_rate > 0.0 and self._rng.random() < policy.loss_rate:
+            retry = attempts - 1
+            if retry >= policy.max_retries:
+                self._dead_letter(message, "max-retries", attempts=attempts)
+                return False
+            wait = policy.backoff(retry)
+            if policy.send_timeout is not None and waited + wait > policy.send_timeout:
+                self._dead_letter(message, "timeout", attempts=attempts)
+                return False
+            waited += wait
+            attempts += 1
+            self._retries += 1
+            obs.counter("mc.retries").inc()
+
         box = self._ports[message.dest].mailbox
         box.append(message)
         self._delivered += 1
         obs.counter("mc.sends").inc()
         obs.gauge("mc.mailbox_hwm", port=message.dest).set_max(len(box))
+        return True
 
     def receive(self, port_name: str) -> Message | None:
         """Pop the oldest message from a mailbox, or ``None`` if empty."""
@@ -97,6 +195,31 @@ class MessageCenter:
         while (m := self.receive(port_name)) is not None:
             out.append(m)
         return out
+
+    # -- dead letters -------------------------------------------------------------
+
+    def _dead_letter(self, message: Message, reason: str, *, attempts: int) -> None:
+        self.dead_letters.append(
+            DeadLetter(message=message, reason=reason,
+                       time=message.time, attempts=attempts)
+        )
+        obs.counter("mc.dead_letters", reason=reason).inc()
+
+    def drain_dead_letters(self) -> list[DeadLetter]:
+        """Pop and return every accumulated dead letter."""
+        out = self.dead_letters
+        self.dead_letters = []
+        return out
+
+    @property
+    def dead_letter_count(self) -> int:
+        """Dead letters currently queued (diagnostics)."""
+        return len(self.dead_letters)
+
+    @property
+    def retry_count(self) -> int:
+        """Total delivery retries since construction (diagnostics)."""
+        return self._retries
 
     # -- publish/subscribe ------------------------------------------------------------
 
@@ -131,17 +254,19 @@ class MessageCenter:
     def publish(self, sender: str, topic: str, payload: dict, time: float = 0.0) -> int:
         """Fan a message out to every subscriber of ``topic``.
 
-        Returns the number of mailboxes reached.  Subscribers are visited
-        in sorted order for determinism.
+        Returns the number of mailboxes reached — lost or dead-lettered
+        deliveries are not counted.  Subscribers are visited in sorted
+        order for determinism.
         """
         count = 0
         for dest in sorted(self._subscriptions.get(topic, ())):
             if dest in self._ports:
-                self.send(
+                delivered = self.send(
                     Message(sender=sender, dest=dest, topic=topic,
                             payload=payload, time=time)
                 )
-                count += 1
+                if delivered:
+                    count += 1
         obs.counter("mc.publishes").inc()
         obs.counter("mc.fanout", topic=topic).inc(count)
         return count

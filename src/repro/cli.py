@@ -18,6 +18,15 @@ There is also an observability verb::
 
 which drives the quickstart scenario under the metrics/tracing layer
 (:mod:`repro.obs`) and summarizes where time goes.
+
+And a chaos verb::
+
+    python -m repro chaos                   # text chaos-sweep summary
+    python -m repro chaos --json out.json   # BENCH_chaos.json document
+
+which sweeps seeded Poisson failure schedules through the fault-tolerant
+execution simulator (:mod:`repro.resilience.chaos`) and checks the
+recovery invariants.
 """
 
 from __future__ import annotations
@@ -95,12 +104,89 @@ def report_main(argv: list[str]) -> int:
     return 0
 
 
+def chaos_main(argv: list[str]) -> int:
+    """The ``chaos`` verb: Poisson failure sweep -> text or JSON.
+
+    Exits non-zero when any recovery invariant is violated, so the sweep
+    doubles as a CI gate.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Sweep seeded Poisson failure schedules through the "
+        "fault-tolerant execution simulator and check the recovery "
+        "invariants (no work lost, patches on live nodes, bounded "
+        "recovery lag).",
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the result as JSON to PATH ('-' or no value: stdout)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2],
+        help="failure-schedule seeds, one replay each (default: 0 1 2)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=96,
+        help="coarse steps per replay (default 96)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=16,
+        help="processors in the simulated cluster (default 16)",
+    )
+    parser.add_argument(
+        "--mtbf", type=float, default=300.0,
+        help="per-node mean time between failures, seconds (default 300)",
+    )
+    parser.add_argument(
+        "--mttr", type=float, default=40.0,
+        help="mean time to repair, seconds (default 40)",
+    )
+    parser.add_argument(
+        "--loss-rate", type=float, default=0.05,
+        help="message-center loss rate for the agent soak (default 0.05; "
+        "0 skips the soak)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.export import export_json
+    from repro.resilience.chaos import ChaosConfig, render_chaos, run_chaos
+
+    try:
+        config = ChaosConfig(
+            num_procs=args.procs,
+            num_coarse_steps=args.steps,
+            mtbf=args.mtbf,
+            mttr=args.mttr,
+            seeds=tuple(args.seeds),
+            loss_rate=args.loss_rate,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    print("running the chaos sweep ...", file=sys.stderr)
+    result = run_chaos(config)
+    if args.json is None:
+        print(render_chaos(result))
+    elif args.json == "-":
+        export_json(result, sys.stdout)
+    else:
+        export_json(result, args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0 if result["aggregate"]["all_invariants_hold"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of the Pragma paper "

@@ -7,6 +7,10 @@ communication (cut-surface volume over link bandwidth plus per-neighbor
 latency), and per-regrid costs (partitioning time, data migration,
 fragmentation overhead).  This is the instrument that regenerates the
 paper's Table 4 and Table 5.
+
+Replay is fault tolerant: clusters carrying a failure schedule run the
+detect → rollback → redistribute → resume loop natively (see
+:mod:`repro.resilience`).
 """
 
 from repro.execsim.costmodel import CostModel

@@ -1,7 +1,20 @@
-"""The SAMR execution simulator."""
+"""The SAMR execution simulator.
+
+Trace replay is fault tolerant: whenever the cluster carries a failure
+schedule, the simulator runs the Cactus-Worm loop natively — a
+heartbeat/lease :class:`~repro.resilience.FailureDetector` declares
+failures with configurable latency, coordinated checkpoints are taken at
+every regrid boundary, and a detected failure triggers rollback to the
+last checkpoint, a degraded-mode repartition over the surviving
+processors (through the system-sensitive capacity path when capacities
+are configured), and resumption.  Committed compute/comm time covers only
+work that survived; everything lost to failures (rolled-back attempts,
+restores, repartitions, stalls) is accounted as recovery time.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -9,11 +22,14 @@ import numpy as np
 from repro import obs
 from repro.amr.trace import AdaptationTrace
 from repro.execsim.costmodel import CostModel
-from repro.execsim.selector import PartitionerSelector
+from repro.execsim.selector import PartitionerSelector, SelectorDecision
 from repro.gridsys.cluster import Cluster
 from repro.partitioners.base import Partition
 from repro.partitioners.metrics import PACMetrics, evaluate_partition
 from repro.partitioners.units import build_units
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.detector import FailureDetector
+from repro.resilience.recovery import FaultTolerance, RecoveryRecord
 from repro.util.stats import max_load_imbalance_pct
 
 __all__ = [
@@ -102,6 +118,18 @@ class StepRecord:
     regrid_time: float
     imbalance_pct: float
     metrics: PACMetrics
+    #: coordinated checkpoint seconds charged at the interval boundary
+    checkpoint_time: float = 0.0
+    #: rollback + restore + repartition + stall seconds within the interval
+    recovery_time: float = 0.0
+    #: detect → rollback → resume cycles within the interval
+    recoveries: int = 0
+    #: processors owning work in the interval's committed partition
+    #: (populated by fault-tolerant replay; empty otherwise)
+    owners: tuple[int, ...] = ()
+    #: processors the detector considered live when the interval committed
+    #: (populated by fault-tolerant replay; empty otherwise)
+    live_procs: tuple[int, ...] = ()
 
 
 @dataclass(slots=True)
@@ -112,12 +140,20 @@ class RunResult:
     useful_work: float = 0.0
     ghost_work: float = 0.0
     proc_work: np.ndarray | None = None
+    recovery_events: list[RecoveryRecord] = field(default_factory=list)
 
     @property
     def total_runtime(self) -> float:
         """End-to-end execution time in simulated seconds."""
         return float(
-            sum(r.compute_time + r.comm_time + r.regrid_time for r in self.records)
+            sum(
+                r.compute_time
+                + r.comm_time
+                + r.regrid_time
+                + r.checkpoint_time
+                + r.recovery_time
+                for r in self.records
+            )
         )
 
     @property
@@ -173,6 +209,31 @@ class RunResult:
         """Repartitioning + migration + bookkeeping seconds over the run."""
         return float(sum(r.regrid_time for r in self.records))
 
+    @property
+    def total_checkpoint_time(self) -> float:
+        """Coordinated checkpoint seconds over the run."""
+        return float(sum(r.checkpoint_time for r in self.records))
+
+    @property
+    def total_recovery_time(self) -> float:
+        """Rollback + restore + repartition + stall seconds over the run."""
+        return float(sum(r.recovery_time for r in self.records))
+
+    @property
+    def num_recoveries(self) -> int:
+        """Detect → rollback → resume cycles over the run."""
+        return len(self.recovery_events)
+
+    @property
+    def failures_detected(self) -> int:
+        """Processor failures the detector declared during the run."""
+        return sum(len(e.failed_nodes) for e in self.recovery_events)
+
+    @property
+    def max_recovery_lag(self) -> float:
+        """Worst seconds from true failure to resumed execution."""
+        return max((e.recovery_lag for e in self.recovery_events), default=0.0)
+
     def partitioner_usage(self) -> dict[str, int]:
         """Regrid count per partitioner label (adaptive-run diagnostics)."""
         out: dict[str, int] = {}
@@ -192,7 +253,17 @@ class ExecutionSimulator:
         *,
         capacities: np.ndarray | None = None,
         partition_time_scale: float = 1.0,
+        fault_tolerance: FaultTolerance | bool | None = None,
     ) -> None:
+        """``fault_tolerance`` controls the rollback/repartition path.
+
+        ``None`` (default) builds a default :class:`FaultTolerance`
+        whenever the cluster carries failure events, so failure schedules
+        replay natively.  Pass a :class:`FaultTolerance` to tune detection
+        latency / checkpoint costs (or to force checkpoint charging on a
+        failure-free cluster), or ``False`` to disable recovery entirely —
+        failed processors then stall the run until they are repaired.
+        """
         self.cluster = cluster
         self.num_procs = num_procs or cluster.num_nodes
         if self.num_procs > cluster.num_nodes:
@@ -203,6 +274,16 @@ class ExecutionSimulator:
         self.cost = cost_model or CostModel()
         self.capacities = capacities
         self.partition_time_scale = partition_time_scale
+        if fault_tolerance is True:
+            fault_tolerance = FaultTolerance()
+        self.fault_tolerance = fault_tolerance
+
+    def _resolve_fault_tolerance(self) -> FaultTolerance | None:
+        if self.fault_tolerance is False:
+            return None
+        if self.fault_tolerance is None:
+            return FaultTolerance() if self.cluster.failures.events else None
+        return self.fault_tolerance
 
     def run(
         self,
@@ -232,6 +313,13 @@ class ExecutionSimulator:
             interval = steps[1] - steps[0] if len(steps) > 1 else 1
             total_steps = steps[-1] + interval
 
+        ft = self._resolve_fault_tolerance()
+        resilient = ft is not None and bool(self.cluster.failures.events)
+        detector = (
+            FailureDetector(self.cluster, ft.detector) if resilient else None
+        )
+        ckpt_store = CheckpointStore(ft.checkpoint) if ft is not None else None
+
         result = RunResult(proc_work=np.zeros(self.num_procs))
         prev_partition: Partition | None = None
         sim_time = 0.0
@@ -247,22 +335,80 @@ class ExecutionSimulator:
                 previous_snap = trace[idx - 1] if idx > 0 else None
                 decision = selector.decide(snap, previous_snap)
                 label = decision.label or decision.partitioner.name
+
+                # Total blackout at the interval boundary: wait until the
+                # detector re-admits at least one processor.
+                pre_stall = 0.0
+                live: list[int] | None = None
+                if resilient:
+                    live = detector.live_nodes(sim_time)
+                    if not live:
+                        t_ret = min(
+                            detector.next_detected_alive(p, sim_time)
+                            for p in range(self.num_procs)
+                        )
+                        if math.isinf(t_ret):
+                            raise RuntimeError(
+                                "all processors failed permanently; the run "
+                                "cannot recover"
+                            )
+                        pre_stall = t_ret - sim_time
+                        sim_time = t_ret
+                        live = detector.live_nodes(sim_time)
+
                 with obs.span("partition", partitioner=label):
                     units = build_units(
                         snap.hierarchy, granularity=decision.granularity,
                         curve="hilbert",
                     )
-                    partition = decision.partitioner.partition(
-                        units, self.num_procs, self.capacities
-                    )
+                    partition = self._partition_over(decision, units, live)
                     metrics = evaluate_partition(partition, prev_partition)
 
-                comp_t, comm_t, ghost = self._interval_cost(
-                    partition, snap.hierarchy, coarse_steps, sim_time
-                )
+                # Coordinated checkpoint at the regrid boundary.
+                checkpoint_t = 0.0
+                if ckpt_store is not None:
+                    _, checkpoint_t = ckpt_store.save(
+                        snap.step, sim_time, snap.hierarchy
+                    )
+
+                recs: list[RecoveryRecord] = []
+                if resilient:
+                    (
+                        comp_t,
+                        comm_t,
+                        ghost,
+                        recovery_t,
+                        partition,
+                        recs,
+                        live,
+                    ) = self._interval_cost_resilient(
+                        partition,
+                        snap,
+                        decision,
+                        units,
+                        coarse_steps,
+                        sim_time + checkpoint_t,
+                        live,
+                        detector,
+                        ckpt_store,
+                        ft,
+                    )
+                    recovery_t += pre_stall
+                    result.recovery_events.extend(recs)
+                else:
+                    comp_t, comm_t, ghost = self._interval_cost(
+                        partition, snap.hierarchy, coarse_steps, sim_time
+                    )
+                    recovery_t = 0.0
                 regrid_t = self._regrid_cost(metrics, partition, snap)
+                obs.counter("execsim.sim_seconds", phase="checkpoint").inc(
+                    checkpoint_t
+                )
+                obs.counter("execsim.sim_seconds", phase="recovery").inc(
+                    recovery_t
+                )
                 result.proc_work += partition.proc_loads() * coarse_steps
-                sim_time += comp_t + comm_t + regrid_t
+                sim_time += comp_t + comm_t + regrid_t + checkpoint_t + recovery_t
 
                 imbalance = max_load_imbalance_pct(partition.proc_loads())
                 obs.counter("execsim.intervals", partitioner=label).inc()
@@ -280,6 +426,15 @@ class ExecutionSimulator:
                         regrid_time=regrid_t,
                         imbalance_pct=imbalance,
                         metrics=metrics,
+                        checkpoint_time=checkpoint_t,
+                        recovery_time=recovery_t,
+                        recoveries=len(recs),
+                        owners=tuple(
+                            int(p) for p in np.unique(partition.assignment)
+                        )
+                        if resilient
+                        else (),
+                        live_procs=tuple(live) if resilient else (),
                     )
                 )
                 result.useful_work += (
@@ -288,6 +443,48 @@ class ExecutionSimulator:
                 result.ghost_work += ghost * coarse_steps
                 prev_partition = partition
         return result
+
+    # -- partitioning over survivors ---------------------------------------------------
+
+    def _partition_over(
+        self,
+        decision: SelectorDecision,
+        units,
+        live: list[int] | None = None,
+    ) -> Partition:
+        """Partition ``units``, restricted to the ``live`` processors.
+
+        With all processors live this is the ordinary partition call.  In
+        degraded mode the partitioner runs over the survivors — with the
+        system-sensitive capacities restricted to them when configured —
+        and the assignment is mapped back to global processor ids, so
+        every unit is owned by a live processor by construction.
+        """
+        if live is not None and not live:
+            raise RuntimeError("no live processors to partition over")
+        if live is None or len(live) == self.num_procs:
+            return decision.partitioner.partition(
+                units, self.num_procs, self.capacities
+            )
+        live_arr = np.asarray(sorted(live), dtype=int)
+        caps = None
+        if self.capacities is not None:
+            caps = np.asarray(self.capacities, dtype=float)[live_arr]
+            if caps.sum() <= 0:
+                caps = None
+        sub = decision.partitioner.partition(units, len(live_arr), caps)
+        params = dict(sub.params)
+        params["degraded"] = True
+        params["live_procs"] = [int(p) for p in live_arr]
+        obs.counter("resilience.degraded_partitions").inc()
+        return Partition(
+            units=units,
+            num_procs=self.num_procs,
+            assignment=live_arr[sub.assignment],
+            partitioner_name=sub.partitioner_name,
+            partition_time=sub.partition_time,
+            params=params,
+        )
 
     # -- cost integration ------------------------------------------------------------
 
@@ -332,7 +529,8 @@ class ExecutionSimulator:
         static_speeds = self.cluster.loadgen is None and not self.cluster.failures.events
 
         def step_times(speeds: np.ndarray) -> tuple[float, float]:
-            comp = loads / speeds
+            comp = np.zeros(self.num_procs)
+            np.divide(loads, speeds, out=comp, where=loads > 0)
             exposed = comp + (1.0 - overlap) * comm_per_step
             step_total = float(
                 max(np.max(exposed), float(np.max(comm_per_step, initial=0.0)))
@@ -347,36 +545,218 @@ class ExecutionSimulator:
                     for p in range(self.num_procs)
                 ]
             )
-            if (dead := speeds <= 0.0).any():
-                raise RuntimeError(
-                    f"processors {np.nonzero(dead)[0].tolist()} are failed "
-                    "during trace replay; the execution simulator has no "
-                    "fault handling — run failures through the agent-managed "
-                    "environment (repro.agents.mcs) instead"
-                )
             comp_share, comm_share = step_times(speeds)
             total_comp = comp_share * coarse_steps
             total_comm = comm_share * coarse_steps
         else:
+            failures = self.cluster.failures
             for _ in range(coarse_steps):
+                # Without fault tolerance a failed owner stalls the step
+                # until its node is repaired (no rollback, no migration);
+                # the wait is charged as exposed communication time.  The
+                # fault-tolerant path in run() never reaches this code.
+                while True:
+                    speeds = np.array(
+                        [
+                            self.cluster.effective_speed(p, t)
+                            for p in range(self.num_procs)
+                        ]
+                    )
+                    dead = (loads > 0) & (speeds <= 0.0)
+                    if not dead.any():
+                        break
+                    t_next = min(
+                        failures.next_alive_time(int(p), t)
+                        for p in np.nonzero(dead)[0]
+                    )
+                    if math.isinf(t_next):
+                        raise RuntimeError(
+                            "processors "
+                            f"{np.nonzero(dead)[0].tolist()} failed "
+                            "permanently during trace replay with fault "
+                            "tolerance disabled; enable fault tolerance "
+                            "(repro.resilience.FaultTolerance) to recover"
+                        )
+                    if t_next <= t:
+                        # Node is up but starved (background load at 1.0):
+                        # re-check after a beat.
+                        t_next = t + 1.0
+                    total_comm += t_next - t
+                    t = t_next
+                comp_share, comm_share = step_times(speeds)
+                total_comp += comp_share
+                total_comm += comm_share
+                t += comp_share + comm_share
+        return total_comp, total_comm, ghost_work
+
+    def _interval_cost_resilient(
+        self,
+        partition: Partition,
+        snap,
+        decision: SelectorDecision,
+        units,
+        coarse_steps: int,
+        t0: float,
+        live: list[int],
+        detector: FailureDetector,
+        ckpt_store: CheckpointStore,
+        ft: FaultTolerance,
+    ) -> tuple[
+        float, float, float, float, Partition, list[RecoveryRecord], list[int]
+    ]:
+        """Fault-tolerant interval execution.
+
+        Runs the interval's coarse steps with failure detection at every
+        step boundary.  A declared failure rolls the interval back to the
+        checkpoint taken at its regrid boundary, redistributes over the
+        survivors, and re-executes; an undeclared outage (true failure the
+        lease has not yet expired on, or one too short to ever expire it)
+        stalls execution.  Returns ``(compute, comm, ghost, recovery
+        seconds, final partition, recovery records, final live set)`` —
+        compute/comm cover only the committed attempt.
+        """
+        cost = self.cost
+        overlap = cost.comm_overlap
+        failures = self.cluster.failures
+        hierarchy = snap.hierarchy
+        intra_ghost = cost.intra_ghost_factor * hierarchy.load_per_coarse_step()
+
+        def prepare(p: Partition):
+            loads = p.proc_loads()
+            comm_per_step, ghost = per_step_comm_times(
+                p, cost, self.cluster.link.bandwidth
+            )
+            return loads, comm_per_step, ghost + intra_ghost
+
+        loads, comm_per_step, ghost = prepare(partition)
+        live = sorted(live)
+        t = t0
+        steps_done = 0
+        attempt_comp = attempt_comm = attempt_stall = 0.0
+        recovery_seconds = 0.0
+        records: list[RecoveryRecord] = []
+
+        with obs.span("interval_cost_resilient", coarse_steps=coarse_steps):
+            while steps_done < coarse_steps:
+                dead = [p for p in live if detector.detected_down(p, t)]
+                if dead:
+                    if len(records) >= ft.max_recoveries_per_interval:
+                        raise RuntimeError(
+                            f"livelock at step {snap.step}: "
+                            f"{len(records)} recoveries within one regrid "
+                            "interval; failures arrive faster than the "
+                            "interval can be re-executed"
+                        )
+                    t_detected = t
+                    lag = max(
+                        t - detector.true_fail_time(p, t) for p in dead
+                    )
+                    wasted = attempt_comp + attempt_comm + attempt_stall
+                    steps_lost = steps_done
+                    attempt_comp = attempt_comm = attempt_stall = 0.0
+                    steps_done = 0
+                    _, restore_s = ckpt_store.restore()
+                    t += restore_s
+                    live = [p for p in live if p not in dead]
+                    blackout = 0.0
+                    if not live:
+                        t_ret = min(
+                            detector.next_detected_alive(p, t)
+                            for p in range(self.num_procs)
+                        )
+                        if math.isinf(t_ret):
+                            raise RuntimeError(
+                                "all processors failed permanently; the "
+                                "run cannot recover"
+                            )
+                        blackout = t_ret - t
+                        t = t_ret
+                        live = detector.live_nodes(t)
+                    prev = partition
+                    partition = self._partition_over(decision, units, live)
+                    repart_metrics = evaluate_partition(partition, prev)
+                    repart_s = self._regrid_cost(
+                        repart_metrics, partition, snap
+                    )
+                    t += repart_s
+                    recovery_seconds += wasted + restore_s + blackout + repart_s
+                    loads, comm_per_step, ghost = prepare(partition)
+                    record = RecoveryRecord(
+                        step=snap.step,
+                        failed_nodes=tuple(dead),
+                        t_detected=t_detected,
+                        detection_lag=lag,
+                        wasted_seconds=wasted + blackout,
+                        restore_seconds=restore_s,
+                        repartition_seconds=repart_s,
+                        steps_lost=steps_lost,
+                        live_after=tuple(live),
+                    )
+                    records.append(record)
+                    obs.counter("resilience.failures_detected").inc(len(dead))
+                    obs.counter("resilience.recoveries").inc()
+                    obs.counter("resilience.rollback_seconds").inc(
+                        wasted + restore_s
+                    )
+                    obs.histogram("resilience.recovery_lag").observe(
+                        record.recovery_lag
+                    )
+                    continue
+
                 speeds = np.array(
                     [
                         self.cluster.effective_speed(p, t)
                         for p in range(self.num_procs)
                     ]
                 )
-                if (dead := speeds <= 0.0).any():
-                    raise RuntimeError(
-                        f"processors {np.nonzero(dead)[0].tolist()} are "
-                        "failed during trace replay; the execution simulator "
-                        "has no fault handling — run failures through the "
-                        "agent-managed environment (repro.agents.mcs) instead"
+                stalled = [p for p in live if loads[p] > 0 and speeds[p] <= 0.0]
+                if stalled:
+                    # True failure the lease has not expired on yet, or a
+                    # blip shorter than the detection latency: work pauses
+                    # until the detector fires or the node returns.
+                    t_wake = min(
+                        min(
+                            detector.detection_fire_time(p, t),
+                            failures.next_alive_time(p, t),
+                        )
+                        for p in stalled
                     )
-                comp_share, comm_share = step_times(speeds)
-                total_comp += comp_share
-                total_comm += comm_share
+                    if t_wake <= t:
+                        t_wake = t + detector.config.heartbeat_period
+                    attempt_stall += t_wake - t
+                    obs.counter("resilience.stall_seconds").inc(t_wake - t)
+                    t = t_wake
+                    continue
+
+                comp = np.zeros(self.num_procs)
+                np.divide(loads, speeds, out=comp, where=loads > 0)
+                exposed = comp + (1.0 - overlap) * comm_per_step
+                step_total = float(
+                    max(
+                        np.max(exposed),
+                        float(np.max(comm_per_step, initial=0.0)),
+                    )
+                )
+                comp_share = float(np.max(comp))
+                comm_share = max(step_total - comp_share, 0.0)
+                attempt_comp += comp_share
+                attempt_comm += comm_share
                 t += comp_share + comm_share
-        return total_comp, total_comm, ghost_work
+                steps_done += 1
+
+        # Transient stalls of the committed attempt are overhead, not work.
+        recovery_seconds += attempt_stall
+        obs.counter("execsim.sim_seconds", phase="compute").inc(attempt_comp)
+        obs.counter("execsim.sim_seconds", phase="comm").inc(attempt_comm)
+        return (
+            attempt_comp,
+            attempt_comm,
+            ghost,
+            recovery_seconds,
+            partition,
+            records,
+            live,
+        )
 
     def _regrid_cost(self, metrics: PACMetrics, partition: Partition, snap) -> float:
         cost = self.cost

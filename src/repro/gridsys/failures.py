@@ -2,11 +2,21 @@
 
 The paper lists "respond to system failures" among the control network's
 responsibilities; the agent layer's fault paths (suspend / checkpoint /
-migrate) are exercised against schedules from this module.
+migrate) and the execution simulator's rollback/repartition path
+(:mod:`repro.resilience`) are exercised against schedules from this
+module.
+
+Liveness queries are hot — the execution simulator asks ``is_alive`` per
+processor per coarse step — so the schedule keeps a per-node index of
+events sorted by ``t_fail`` with a prefix-max of ``t_recover``, giving
+O(log events-per-node) lookups instead of a linear scan over the whole
+schedule.  The index is rebuilt lazily after mutation.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.util.rng import ensure_rng
@@ -43,20 +53,93 @@ class FailureSchedule:
     """A set of failure events queryable by (node, time)."""
 
     events: list[FailureEvent] = field(default_factory=list)
+    #: lazily rebuilt per-node index: node -> (sorted t_fails, events
+    #: sorted by t_fail, prefix-max of t_recover).  The prefix-max makes
+    #: liveness correct even for overlapping hand-added outages.
+    _index: dict[int, tuple[list[float], list[FailureEvent], list[float]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed_len: int = field(default=-1, repr=False, compare=False)
 
     def add(self, event: FailureEvent) -> None:
         """Register a failure event."""
         self.events.append(event)
 
+    def _node_index(
+        self, node_id: int
+    ) -> tuple[list[float], list[FailureEvent], list[float]] | None:
+        if self._indexed_len != len(self.events):
+            by_node: dict[int, list[FailureEvent]] = {}
+            for e in self.events:
+                by_node.setdefault(e.node_id, []).append(e)
+            self._index = {}
+            for node, evs in by_node.items():
+                evs.sort(key=lambda e: e.t_fail)
+                prefix_max: list[float] = []
+                running = -math.inf
+                for e in evs:
+                    running = max(running, e.t_recover)
+                    prefix_max.append(running)
+                self._index[node] = ([e.t_fail for e in evs], evs, prefix_max)
+            self._indexed_len = len(self.events)
+        return self._index.get(node_id)
+
     def is_alive(self, node_id: int, t: float) -> bool:
-        """True unless some event has ``node_id`` down at ``t``."""
-        return not any(e.node_id == node_id and e.is_down(t) for e in self.events)
+        """True unless some event has ``node_id`` down at ``t``.
+
+        O(log k) in the node's event count via the per-node index.
+        """
+        idx = self._node_index(node_id)
+        if idx is None:
+            return True
+        t_fails, _, prefix_max = idx
+        pos = bisect_right(t_fails, t)
+        if pos == 0:
+            return True
+        return prefix_max[pos - 1] <= t
 
     def failures_in(self, t0: float, t1: float) -> list[FailureEvent]:
-        """Events whose failure time falls in ``[t0, t1)``."""
+        """Events whose failure time falls in ``[t0, t1)``.
+
+        Note this misses outages that *began* before ``t0`` but are still
+        in progress during the window — detectors scanning windows want
+        :meth:`down_during` instead.
+        """
         if t1 < t0:
             raise ValueError(f"need t1 >= t0, got [{t0}, {t1})")
         return [e for e in self.events if t0 <= e.t_fail < t1]
+
+    def down_during(self, t0: float, t1: float) -> list[FailureEvent]:
+        """Events overlapping the window ``[t0, t1)`` at any point.
+
+        Unlike :meth:`failures_in`, this includes outages that began
+        before ``t0`` and are still unrepaired inside the window — the
+        query a window-scanning failure detector actually needs.
+        """
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1})")
+        return [e for e in self.events if e.t_fail < t1 and e.t_recover > t0]
+
+    def next_alive_time(self, node_id: int, t: float) -> float:
+        """Earliest time ``>= t`` at which ``node_id`` is up.
+
+        ``t`` itself when the node is already alive; ``inf`` for a
+        permanent failure in progress.
+        """
+        idx = self._node_index(node_id)
+        if idx is None:
+            return t
+        t_fails, events, prefix_max = idx
+        cur = t
+        pos = bisect_right(t_fails, cur)
+        # Overlapping outages can extend each other, so iterate until no
+        # event covering ``cur`` remains (each pass strictly advances cur).
+        while pos > 0 and prefix_max[pos - 1] > cur:
+            cur = max(e.t_recover for e in events[:pos] if e.t_recover > cur)
+            if math.isinf(cur):
+                return cur
+            pos = bisect_right(t_fails, cur)
+        return cur
 
     @classmethod
     def poisson(

@@ -20,7 +20,7 @@ from repro import obs
 __all__ = ["RunReport", "collect_run_report", "quickstart_scenario"]
 
 #: simulated-seconds phases recorded by the execution simulator
-PHASES = ("compute", "comm", "regrid", "partition")
+PHASES = ("compute", "comm", "regrid", "partition", "checkpoint", "recovery")
 
 
 @dataclass(slots=True)

@@ -1,0 +1,40 @@
+"""Fault tolerance for the Pragma reproduction.
+
+The paper lists "respond to system failures" among the CATALINA control
+network's responsibilities; this package supplies the machinery:
+
+- :mod:`~repro.resilience.detector` — heartbeat/lease failure detection
+  with configurable detection latency, fed by monitoring sensors,
+- :mod:`~repro.resilience.checkpoint` — coordinated checkpoint/restart of
+  the SAMR grid hierarchy at regrid boundaries, with a rollback cost
+  model,
+- :mod:`~repro.resilience.recovery` — the :class:`FaultTolerance` knob
+  bundle and per-recovery bookkeeping consumed by the execution
+  simulator's rollback + redistribute + resume path,
+- :mod:`~repro.resilience.chaos` — a chaos harness sweeping Poisson
+  failure schedules through the quickstart scenario and asserting
+  recovery invariants (imported lazily: ``import repro.resilience.chaos``).
+"""
+
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    CheckpointCostModel,
+    CheckpointStore,
+)
+from repro.resilience.detector import (
+    DetectionEvent,
+    DetectorConfig,
+    FailureDetector,
+)
+from repro.resilience.recovery import FaultTolerance, RecoveryRecord
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointCostModel",
+    "CheckpointStore",
+    "DetectionEvent",
+    "DetectorConfig",
+    "FailureDetector",
+    "FaultTolerance",
+    "RecoveryRecord",
+]

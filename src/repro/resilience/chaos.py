@@ -1,0 +1,264 @@
+"""Chaos harness: Poisson failure sweeps over the quickstart scenario.
+
+Drives the reduced RM3D quickstart through the fault-tolerant execution
+simulator under seeded :meth:`FailureSchedule.poisson` schedules and
+asserts the recovery invariants end-to-end:
+
+1. **No coarse-step work is lost** — every planned coarse step is
+   committed despite rollbacks.
+2. **Every patch is owned by a live node** — each interval's owner set is
+   a subset of the detected-live processor set.
+3. **Recovery lag is bounded** — failure-to-resume never exceeds the
+   configured detection latency plus a slack proportional to the clean
+   runtime.
+
+A companion agent-layer soak runs the CATALINA control network (MCS +
+ADM + CAs) on the same failing cluster over a lossy message-center link,
+checking the application still completes while counting retries, dead
+letters and migrations.
+
+``python -m repro chaos`` runs the sweep from the command line;
+``benchmarks/test_chaos_recovery.py`` pins it in CI and writes
+``BENCH_chaos.json``.
+
+This module imports the simulator and agents layers, so it is *not*
+re-exported from :mod:`repro.resilience` — import it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.recovery import FaultTolerance
+
+__all__ = ["ChaosConfig", "run_chaos", "render_chaos"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Knobs for one chaos sweep."""
+
+    num_procs: int = 16
+    #: coarse steps per replay (reduced from the quickstart's 160 for CI)
+    num_coarse_steps: int = 96
+    #: mean time between failures per node (simulated seconds)
+    mtbf: float = 300.0
+    #: mean time to repair (simulated seconds)
+    mttr: float = 40.0
+    #: one fault-tolerant replay per seed
+    seeds: tuple[int, ...] = (0, 1, 2)
+    #: message-center loss rate for the agent-layer soak (0 skips the soak)
+    loss_rate: float = 0.05
+    #: recovery-lag budget beyond detection latency, as a fraction of the
+    #: clean runtime (floored at 10 s)
+    lag_slack_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.num_procs < 1:
+            raise ValueError(f"num_procs must be >= 1, got {self.num_procs}")
+        if self.num_coarse_steps < 1:
+            raise ValueError(
+                f"num_coarse_steps must be >= 1, got {self.num_coarse_steps}"
+            )
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.lag_slack_fraction < 0:
+            raise ValueError("lag_slack_fraction must be >= 0")
+
+
+def _quickstart_pieces(config: ChaosConfig):
+    """Trace + selector + clean-cluster factory for the reduced scenario."""
+    from repro.apps.base import generate_trace
+    from repro.execsim import StaticSelector
+    from repro.gridsys import sp2_blue_horizon
+    from repro.obs.report import quickstart_scenario
+    from repro.partitioners import ISPPartitioner
+
+    app, policy, _runtime = quickstart_scenario()
+    trace = generate_trace(app, policy, config.num_coarse_steps)
+    selector = StaticSelector(ISPPartitioner())
+    return trace, selector, lambda: sp2_blue_horizon(config.num_procs)
+
+
+def _replay_one(config: ChaosConfig, seed: int, trace, selector,
+                make_cluster, clean_runtime: float, ft: FaultTolerance) -> dict:
+    """One fault-tolerant replay under a seeded Poisson schedule."""
+    from repro.execsim import ExecutionSimulator
+    from repro.gridsys import FailureSchedule
+
+    horizon = 3.0 * clean_runtime
+    schedule = FailureSchedule.poisson(
+        num_nodes=config.num_procs, horizon=horizon,
+        mtbf=config.mtbf, mttr=config.mttr, seed=seed,
+    )
+    cluster = make_cluster()
+    cluster.failures.events.extend(schedule.events)
+
+    res = ExecutionSimulator(cluster, fault_tolerance=ft).run(trace, selector)
+
+    planned = trace.meta["num_coarse_steps"]
+    executed = sum(r.coarse_steps for r in res.records)
+    owners_live = all(
+        set(r.owners) <= set(r.live_procs) for r in res.records
+    )
+    lag_bound = ft.detector.detection_latency + max(
+        10.0, config.lag_slack_fraction * clean_runtime
+    )
+    lag_ok = res.max_recovery_lag <= lag_bound
+    return {
+        "seed": seed,
+        "schedule_events": len(schedule.events),
+        "planned_steps": planned,
+        "executed_steps": executed,
+        "recoveries": res.num_recoveries,
+        "failures_detected": res.failures_detected,
+        "runtime": res.total_runtime,
+        "checkpoint_time": res.total_checkpoint_time,
+        "recovery_time": res.total_recovery_time,
+        "max_recovery_lag": res.max_recovery_lag,
+        "recovery_lag_bound": lag_bound,
+        "overhead_pct": 100.0 * (res.total_runtime - clean_runtime)
+        / clean_runtime,
+        "invariants": {
+            "no_work_lost": executed == planned,
+            "owners_live": owners_live,
+            "lag_bounded": lag_ok,
+        },
+    }
+
+
+def _soak_one(config: ChaosConfig, seed: int) -> dict:
+    """Agent-layer soak: lossy control network on a failing cluster."""
+    from repro.agents import (
+        DeliveryPolicy,
+        ManagementComputingSystem,
+        ManagementEditor,
+    )
+    from repro.gridsys import FailureSchedule, sp2_blue_horizon
+
+    cluster = sp2_blue_horizon(min(config.num_procs, 8))
+    cluster.failures.events.extend(
+        FailureSchedule.poisson(
+            num_nodes=cluster.num_nodes, horizon=600.0,
+            mtbf=config.mtbf, mttr=config.mttr, seed=1000 + seed,
+        ).events
+    )
+    # Work sized so each component runs a few hundred ticks on an idle SP2
+    # node — long enough to live through several scheduled outages.
+    spec = ManagementEditor("chaos-soak")
+    for i in range(4):
+        spec.add_component(f"c{i}", 4e8)
+    spec = spec.require("performance", 1.0).build()
+    policy = DeliveryPolicy(loss_rate=config.loss_rate, seed=seed)
+    mcs = ManagementComputingSystem(cluster, delivery_policy=policy)
+    env = mcs.build_environment(spec)
+    env.run(2000.0)
+    mc = env.message_center
+    return {
+        "seed": seed,
+        "completed": env.done,
+        "delivered": mc.delivered_count,
+        "retries": mc.retry_count,
+        "dead_letters": mc.dead_letter_count,
+        "migrations": sum(c.migrations for c in env.components),
+    }
+
+
+def run_chaos(config: ChaosConfig | None = None) -> dict:
+    """Run the chaos sweep; returns the BENCH_chaos.json document."""
+    config = config or ChaosConfig()
+    trace, selector, make_cluster = _quickstart_pieces(config)
+    ft = FaultTolerance()
+
+    from repro.execsim import ExecutionSimulator
+
+    clean = ExecutionSimulator(make_cluster(), fault_tolerance=False).run(
+        trace, selector
+    )
+    clean_runtime = clean.total_runtime
+
+    runs = [
+        _replay_one(config, seed, trace, selector, make_cluster,
+                    clean_runtime, ft)
+        for seed in config.seeds
+    ]
+    soaks = (
+        [_soak_one(config, seed) for seed in config.seeds]
+        if config.loss_rate > 0.0
+        else []
+    )
+
+    all_hold = all(all(r["invariants"].values()) for r in runs) and all(
+        s["completed"] for s in soaks
+    )
+    return {
+        "scenario": "quickstart-rm3d-chaos",
+        "config": {
+            "num_procs": config.num_procs,
+            "num_coarse_steps": config.num_coarse_steps,
+            "mtbf": config.mtbf,
+            "mttr": config.mttr,
+            "seeds": list(config.seeds),
+            "loss_rate": config.loss_rate,
+        },
+        "clean_runtime": clean_runtime,
+        "runs": runs,
+        "messaging_soak": soaks,
+        "aggregate": {
+            "all_invariants_hold": all_hold,
+            "total_recoveries": sum(r["recoveries"] for r in runs),
+            "total_failures_detected": sum(
+                r["failures_detected"] for r in runs
+            ),
+            "max_recovery_lag": max(
+                (r["max_recovery_lag"] for r in runs), default=0.0
+            ),
+            "mean_overhead_pct": sum(r["overhead_pct"] for r in runs)
+            / len(runs),
+        },
+    }
+
+
+def render_chaos(result: dict) -> str:
+    """Human-readable text rendering (the CLI's default output)."""
+    cfg = result["config"]
+    agg = result["aggregate"]
+    lines = ["== Pragma chaos sweep =="]
+    lines.append(
+        f"scenario: {result['scenario']} | {cfg['num_procs']} procs | "
+        f"{cfg['num_coarse_steps']} coarse steps | mtbf {cfg['mtbf']:.0f}s | "
+        f"mttr {cfg['mttr']:.0f}s | seeds {cfg['seeds']}"
+    )
+    lines.append(f"clean runtime: {result['clean_runtime']:.1f} s")
+    lines.append("-- fault-tolerant replays --")
+    for r in result["runs"]:
+        inv = r["invariants"]
+        status = "OK " if all(inv.values()) else "FAIL"
+        lines.append(
+            f"  seed {r['seed']}: [{status}] {r['executed_steps']}/"
+            f"{r['planned_steps']} steps | {r['recoveries']} recoveries | "
+            f"lag {r['max_recovery_lag']:.2f}s (bound "
+            f"{r['recovery_lag_bound']:.1f}s) | overhead "
+            f"{r['overhead_pct']:+.1f}%"
+        )
+    if result["messaging_soak"]:
+        lines.append("-- lossy-link agent soak --")
+        for s in result["messaging_soak"]:
+            status = "OK " if s["completed"] else "FAIL"
+            lines.append(
+                f"  seed {s['seed']}: [{status}] delivered {s['delivered']} | "
+                f"retries {s['retries']} | dead letters {s['dead_letters']} | "
+                f"migrations {s['migrations']}"
+            )
+    lines.append(
+        f"aggregate: invariants "
+        f"{'HOLD' if agg['all_invariants_hold'] else 'VIOLATED'} | "
+        f"{agg['total_recoveries']} recoveries | max lag "
+        f"{agg['max_recovery_lag']:.2f}s | mean overhead "
+        f"{agg['mean_overhead_pct']:+.1f}%"
+    )
+    return "\n".join(lines)

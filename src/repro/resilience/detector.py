@@ -1,0 +1,258 @@
+"""Heartbeat/lease-based failure detection.
+
+The control network's failure response starts with *detection*: CATALINA
+agents cannot read the :class:`~repro.gridsys.failures.FailureSchedule`
+ground truth, only sensor measurements.  A :class:`FailureDetector` owns
+one health probe per node (a
+:class:`~repro.monitoring.sensors.CpuAvailabilitySensor` by default — a
+failed node measures zero availability), polls them every
+``heartbeat_period`` seconds, and declares a node failed once
+``misses_to_declare`` consecutive heartbeats are missed (its lease
+expires).  Recovery is declared after ``recovery_confirmations``
+consecutive healthy heartbeats.
+
+The execution simulator replays traces in closed form rather than running
+the polling loop, so the detector also exposes the analytic equivalent: an
+outage beginning at ``t_fail`` is *declared* at ``t_fail +
+detection_latency`` and a repair at ``t_recover`` is *recognized* at
+``t_recover + recovery_latency``.  Outages shorter than the detection
+latency never expire the lease and are never declared — transient blips
+stall work but trigger no recovery.  Both faces share the same latency
+constants, so agent-layer polling and simulator replay agree on when the
+system "knows" about a failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.gridsys.cluster import Cluster
+from repro.gridsys.failures import FailureEvent, FailureSchedule
+
+__all__ = ["DetectorConfig", "DetectionEvent", "FailureDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class DetectorConfig:
+    """Lease parameters of the heartbeat failure detector."""
+
+    #: seconds between heartbeat probes
+    heartbeat_period: float = 1.0
+    #: consecutive missed heartbeats that expire a node's lease
+    misses_to_declare: int = 3
+    #: consecutive healthy heartbeats that re-admit a declared-down node
+    recovery_confirmations: int = 1
+    #: a heartbeat reading at or below this counts as a miss
+    healthy_threshold: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period <= 0:
+            raise ValueError(
+                f"heartbeat_period must be positive, got {self.heartbeat_period}"
+            )
+        if self.misses_to_declare < 1:
+            raise ValueError(
+                f"misses_to_declare must be >= 1, got {self.misses_to_declare}"
+            )
+        if self.recovery_confirmations < 1:
+            raise ValueError(
+                f"recovery_confirmations must be >= 1, "
+                f"got {self.recovery_confirmations}"
+            )
+        if self.healthy_threshold < 0:
+            raise ValueError(
+                f"healthy_threshold must be >= 0, got {self.healthy_threshold}"
+            )
+
+    @property
+    def detection_latency(self) -> float:
+        """Worst-case seconds from true failure to lease expiry."""
+        return self.heartbeat_period * self.misses_to_declare
+
+    @property
+    def recovery_latency(self) -> float:
+        """Seconds from true repair to the detector re-admitting the node."""
+        return self.heartbeat_period * self.recovery_confirmations
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionEvent:
+    """One state change declared by the detector."""
+
+    node_id: int
+    kind: str  # "failure" | "recovery"
+    t_detected: float
+
+
+class FailureDetector:
+    """Turns ground-truth outages into detection events with latency."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: DetectorConfig | None = None,
+        *,
+        message_center=None,
+        sensor_noise: float = 0.0,
+        sensor_seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or DetectorConfig()
+        self.message_center = message_center
+        self.events: list[DetectionEvent] = []
+        n = cluster.num_nodes
+        self._misses = [0] * n
+        self._hits = [0] * n
+        self._declared_down = [False] * n
+        self._sensors: list | None = None
+        self._sensor_noise = sensor_noise
+        self._sensor_seed = sensor_seed
+        self._detected_sched: FailureSchedule | None = None
+        self._detected_sched_len = -1
+
+    # -- sensor-fed polling face ---------------------------------------------------
+
+    def _sensor(self, node_id: int):
+        if self._sensors is None:
+            from repro.monitoring.sensors import CpuAvailabilitySensor
+            from repro.util.rng import ensure_rng, spawn_rng
+
+            rngs = spawn_rng(
+                ensure_rng(self._sensor_seed), self.cluster.num_nodes
+            )
+            self._sensors = [
+                CpuAvailabilitySensor(
+                    self.cluster, i, noise=self._sensor_noise, seed=rngs[i]
+                )
+                for i in range(self.cluster.num_nodes)
+            ]
+        return self._sensors[node_id]
+
+    def poll(self, t: float) -> list[DetectionEvent]:
+        """One heartbeat sweep at time ``t``; returns new declarations.
+
+        Declared failures/recoveries are appended to :attr:`events` and —
+        when a message center was attached — published on the
+        ``node-failed`` / ``node-recovered`` topics for the ADM.
+        """
+        cfg = self.config
+        new: list[DetectionEvent] = []
+        for node in range(self.cluster.num_nodes):
+            healthy = self._sensor(node).measure(t) > cfg.healthy_threshold
+            if self._declared_down[node]:
+                if healthy:
+                    self._hits[node] += 1
+                    if self._hits[node] >= cfg.recovery_confirmations:
+                        self._declared_down[node] = False
+                        self._misses[node] = 0
+                        new.append(DetectionEvent(node, "recovery", t))
+                else:
+                    self._hits[node] = 0
+            else:
+                if healthy:
+                    self._misses[node] = 0
+                else:
+                    self._misses[node] += 1
+                    if self._misses[node] >= cfg.misses_to_declare:
+                        self._declared_down[node] = True
+                        self._hits[node] = 0
+                        new.append(DetectionEvent(node, "failure", t))
+        for ev in new:
+            obs.counter("resilience.detections", kind=ev.kind).inc()
+            if self.message_center is not None:
+                self.message_center.publish(
+                    "failure-detector",
+                    "node-failed" if ev.kind == "failure" else "node-recovered",
+                    {"node": ev.node_id},
+                    time=t,
+                )
+        self.events.extend(new)
+        return new
+
+    def sweep(self, t0: float, t1: float) -> list[DetectionEvent]:
+        """Poll every ``heartbeat_period`` over ``[t0, t1)``."""
+        if t1 < t0:
+            raise ValueError(f"need t1 >= t0, got [{t0}, {t1})")
+        out: list[DetectionEvent] = []
+        t = t0
+        while t < t1:
+            out.extend(self.poll(t))
+            t += self.config.heartbeat_period
+        return out
+
+    def declared_down_nodes(self) -> list[int]:
+        """Nodes currently declared down by the polling loop."""
+        return [i for i, d in enumerate(self._declared_down) if d]
+
+    # -- analytic face (used during trace replay) -----------------------------------
+
+    def _detected_schedule(self) -> FailureSchedule:
+        """Ground truth shifted by the lease latencies.
+
+        An outage ``[t_fail, t_recover)`` appears to the detector as
+        ``[t_fail + detection_latency, t_recover + recovery_latency)``;
+        outages too short to expire the lease disappear entirely.
+        """
+        truth = self.cluster.failures
+        if self._detected_sched_len != len(truth.events):
+            cfg = self.config
+            shifted = FailureSchedule()
+            for e in truth.events:
+                t_det = e.t_fail + cfg.detection_latency
+                t_clear = e.t_recover + cfg.recovery_latency
+                if t_clear > t_det:
+                    shifted.add(FailureEvent(e.node_id, t_det, t_clear))
+            self._detected_sched = shifted
+            self._detected_sched_len = len(truth.events)
+        return self._detected_sched
+
+    def detected_down(self, node_id: int, t: float) -> bool:
+        """True while the detector considers ``node_id`` failed at ``t``."""
+        return not self._detected_schedule().is_alive(node_id, t)
+
+    def live_nodes(self, t: float, candidates=None) -> list[int]:
+        """Nodes not declared down at ``t`` (subset of ``candidates``)."""
+        if candidates is None:
+            candidates = range(self.cluster.num_nodes)
+        sched = self._detected_schedule()
+        return [n for n in candidates if sched.is_alive(n, t)]
+
+    def next_detected_alive(self, node_id: int, t: float) -> float:
+        """Earliest time ``>= t`` at which the detector trusts the node."""
+        return self._detected_schedule().next_alive_time(node_id, t)
+
+    def detection_fire_time(self, node_id: int, t: float) -> float:
+        """When the in-progress (undeclared) outage at ``t`` will be declared.
+
+        ``inf`` when no covering outage lasts long enough to expire the
+        lease (a transient blip the detector never sees).
+        """
+        cfg = self.config
+        best = math.inf
+        for e in self.cluster.failures.down_during(t, math.inf):
+            if e.node_id != node_id or not e.is_down(t):
+                continue
+            t_det = e.t_fail + cfg.detection_latency
+            if t_det >= t and t_det < e.t_recover + cfg.recovery_latency:
+                best = min(best, t_det)
+        return best
+
+    def true_fail_time(self, node_id: int, t: float) -> float:
+        """``t_fail`` of the outage whose detection window covers ``t``.
+
+        Used to compute detection lag; falls back to ``t`` when no ground
+        truth matches (shouldn't happen for declarations this detector
+        produced).
+        """
+        cfg = self.config
+        best = t
+        for e in self.cluster.failures.events:
+            if (
+                e.node_id == node_id
+                and e.t_fail + cfg.detection_latency <= t
+                and t < e.t_recover + cfg.recovery_latency
+            ):
+                best = min(best, e.t_fail)
+        return best

@@ -1,0 +1,74 @@
+"""Fault-tolerance configuration and recovery bookkeeping types.
+
+These are the types the execution simulator's rollback + redistribute +
+resume path produces and consumes; they live here (not in
+:mod:`repro.execsim`) so the agents layer and the chaos harness can share
+them without importing the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.checkpoint import CheckpointCostModel
+from repro.resilience.detector import DetectorConfig
+
+__all__ = ["FaultTolerance", "RecoveryRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultTolerance:
+    """Knob bundle for fault-tolerant trace replay.
+
+    The execution simulator builds one of these by default whenever the
+    cluster carries a failure schedule, so failure scenarios run natively;
+    pass one explicitly to tune detection latency, checkpoint costs, or
+    the livelock guard (or to force checkpointing on a failure-free run).
+    """
+
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    checkpoint: CheckpointCostModel = field(default_factory=CheckpointCostModel)
+    #: recovery attempts tolerated within one regrid interval before the
+    #: run is declared livelocked (failures arriving faster than the
+    #: interval can be re-executed)
+    max_recoveries_per_interval: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_recoveries_per_interval < 1:
+            raise ValueError(
+                f"max_recoveries_per_interval must be >= 1, "
+                f"got {self.max_recoveries_per_interval}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryRecord:
+    """One detect → rollback → redistribute → resume cycle."""
+
+    #: snapshot step of the regrid interval the failure interrupted
+    step: int
+    #: processors declared failed in this cycle
+    failed_nodes: tuple[int, ...]
+    #: simulation time of the declaration
+    t_detected: float
+    #: seconds from the earliest true failure to the declaration
+    detection_lag: float
+    #: rolled-back attempt seconds (work + stall discarded by the rollback)
+    wasted_seconds: float
+    #: checkpoint restore seconds
+    restore_seconds: float
+    #: degraded-mode repartition + migration seconds
+    repartition_seconds: float
+    #: coarse steps of the interval that had to be re-executed
+    steps_lost: int
+    #: surviving processors the interval resumed on
+    live_after: tuple[int, ...]
+
+    @property
+    def recovery_lag(self) -> float:
+        """Seconds from true failure until execution resumed.
+
+        Detection lag plus restore plus repartition — the re-executed
+        coarse steps are excluded (they are ordinary committed work).
+        """
+        return self.detection_lag + self.restore_seconds + self.repartition_seconds

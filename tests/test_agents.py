@@ -38,11 +38,17 @@ class TestMessageCenter:
         with pytest.raises(ValueError):
             mc.register("a")
 
-    def test_send_to_unknown_port(self):
+    def test_send_to_unknown_port_dead_letters(self):
         mc = MessageCenter()
         mc.register("a")
-        with pytest.raises(KeyError):
-            mc.send(Message(sender="a", dest="nope", topic="t"))
+        ok = mc.send(Message(sender="a", dest="nope", topic="t"))
+        assert ok is False
+        assert mc.dead_letter_count == 1
+        dl = mc.dead_letters[0]
+        assert dl.reason == "unregistered-destination"
+        assert dl.attempts == 0
+        assert dl.message.dest == "nope"
+        assert mc.delivered_count == 0
 
     def test_publish_subscribe_fanout(self):
         mc = MessageCenter()

@@ -157,12 +157,52 @@ class TestCostAttribution:
         assert charged.total_regrid_time > free.total_regrid_time
 
 
-class TestFailureGuard:
-    def test_failed_node_raises_clear_error(self, small_rm3d_trace):
+class TestFaultTolerantReplay:
+    def test_permanent_failure_recovers_natively(self, small_rm3d_trace):
         from repro.gridsys import FailureEvent, linux_cluster
 
         cluster = linux_cluster(4, seed=1)
         cluster.failures.add(FailureEvent(node_id=2, t_fail=0.0))
         sim = ExecutionSimulator(cluster)
-        with pytest.raises(RuntimeError, match="agent-managed"):
+        res = sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        # The run completes, no coarse-step work is lost, and the failed
+        # processor owns nothing once the failure is detected.
+        clean = ExecutionSimulator(linux_cluster(4, seed=1)).run(
+            small_rm3d_trace, StaticSelector(ISPPartitioner())
+        )
+        assert sum(r.coarse_steps for r in res.records) == sum(
+            r.coarse_steps for r in clean.records
+        )
+        assert res.num_recoveries >= 1
+        assert res.total_recovery_time > 0.0
+        for rec in res.records[1:]:
+            assert 2 not in rec.owners
+            assert set(rec.owners) <= set(rec.live_procs)
+
+    def test_fault_tolerance_disabled_stalls_until_repair(
+        self, small_rm3d_trace
+    ):
+        from repro.gridsys import FailureEvent, sp2_blue_horizon
+
+        cluster = sp2_blue_horizon(4)
+        cluster.failures.add(FailureEvent(node_id=2, t_fail=0.0, t_recover=50.0))
+        sim = ExecutionSimulator(cluster, fault_tolerance=False)
+        res = sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        assert res.num_recoveries == 0
+        clean = ExecutionSimulator(
+            sp2_blue_horizon(4), fault_tolerance=False
+        ).run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        assert res.total_runtime == pytest.approx(
+            clean.total_runtime + 50.0, rel=1e-4
+        )
+
+    def test_fault_tolerance_disabled_permanent_failure_raises(
+        self, small_rm3d_trace
+    ):
+        from repro.gridsys import FailureEvent, linux_cluster
+
+        cluster = linux_cluster(4, seed=1)
+        cluster.failures.add(FailureEvent(node_id=2, t_fail=0.0))
+        sim = ExecutionSimulator(cluster, fault_tolerance=False)
+        with pytest.raises(RuntimeError, match="fault tolerance"):
             sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))

@@ -339,7 +339,10 @@ class TestRunReport:
 
     def test_phases_present_and_positive(self, tiny_report):
         d = tiny_report.to_dict()
-        assert set(d["phases"]) == {"compute", "comm", "regrid", "partition"}
+        assert set(d["phases"]) == {
+            "compute", "comm", "regrid", "partition", "checkpoint",
+            "recovery",
+        }
         assert d["phases"]["compute"] > 0.0
 
     def test_partitioning_and_messaging_sections(self, tiny_report):
@@ -404,7 +407,8 @@ class TestReportCli:
                      "--online-steps", "8"]) == 0
         doc = json.loads(out.read_text())
         assert set(doc["phases"]) == {"compute", "comm", "regrid",
-                                      "partition"}
+                                      "partition", "checkpoint",
+                                      "recovery"}
 
     def test_report_rejects_bad_steps(self):
         from repro.cli import main
