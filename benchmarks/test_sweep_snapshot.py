@@ -1,0 +1,59 @@
+"""Sweep engine perf snapshot — emits ``BENCH_sweep.json`` at the repo root.
+
+Runs the registered experiment scenarios through the sweep engine twice
+against a fresh cache: a cold pass (everything executes, ``--jobs 2``)
+and a warm pass (everything resolves from the content-addressed cache,
+no worker is spawned).  The warm pass must complete in under 10% of the
+cold wall-clock — the sweep cache's acceptance bar — and both passes
+must produce bit-identical task results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sweep import run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SNAPSHOT_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+
+def test_sweep_cold_warm_snapshot(tmp_path):
+    cold = run_sweep(tags=("experiment",), jobs=2, cache_dir=tmp_path)
+    warm = run_sweep(tags=("experiment",), jobs=2, cache_dir=tmp_path)
+
+    assert cold.ok and warm.ok
+    assert cold.cache_misses == len(cold.tasks) > 0
+    assert warm.cache_hits == len(warm.tasks) == len(cold.tasks)
+    for a, b in zip(cold.tasks, warm.tasks):
+        assert json.dumps(a.result, sort_keys=True) == json.dumps(
+            b.result, sort_keys=True
+        )
+
+    warm_frac = warm.total_wall_s / cold.total_wall_s
+    snapshot = {
+        "bench": "sweep",
+        "scenarios": [t.name for t in cold.tasks],
+        "jobs": cold.jobs,
+        "wall_clock": {
+            "cold_s": cold.total_wall_s,
+            "warm_s": warm.total_wall_s,
+            "warm_fraction_pct": 100.0 * warm_frac,
+            "speedup": cold.total_wall_s / max(warm.total_wall_s, 1e-9),
+        },
+        "cache": {
+            "cold_misses": cold.cache_misses,
+            "warm_hits": warm.cache_hits,
+        },
+        "tasks": [
+            {"name": t.name, "wall_s": t.wall_s, "cached": t.cached}
+            for t in cold.tasks
+        ],
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    assert warm_frac < 0.10, (
+        f"warm sweep took {100 * warm_frac:.1f}% of cold "
+        f"({warm.total_wall_s:.3f}s vs {cold.total_wall_s:.3f}s)"
+    )

@@ -12,15 +12,32 @@ suite (:mod:`repro.partitioners`), and a discrete-event execution
 simulator (:mod:`repro.execsim`).  The pipeline itself is observable
 through :mod:`repro.obs` (metrics, spans, run reports), off by default.
 
-The top-level facade lives in :mod:`repro.core`:
+The evaluation surface — experiments, ablations, chaos configurations —
+runs through the scenario sweep engine (:mod:`repro.sweep`): a uniform
+:class:`Scenario` protocol, content-addressed result caching, and a
+parallel :class:`SweepRunner` behind ``python -m repro sweep``.
 
->>> from repro.core import PragmaRuntime, MetaPartitioner
+The runtime facade and the sweep engine are re-exported here:
+
+>>> from repro import Pragma, MetaPartitioner, run_sweep
 """
+
+from repro.core import MetaPartitioner, PragmaRuntime
+from repro.sweep import Scenario, SweepRunner, run_sweep
+
+#: the paper's name for the runtime — alias of :class:`PragmaRuntime`
+Pragma = PragmaRuntime
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Pragma",
+    "PragmaRuntime",
+    "MetaPartitioner",
+    "Scenario",
+    "SweepRunner",
+    "run_sweep",
     "amr",
     "sfc",
     "apps",
@@ -33,4 +50,7 @@ __all__ = [
     "execsim",
     "core",
     "obs",
+    "sweep",
+    "resilience",
+    "experiments",
 ]

@@ -1,32 +1,40 @@
-"""Command-line interface: ``python -m repro <experiment> [...]``.
+"""Command-line interface: ``python -m repro <verb> [...]``.
 
-Runs any of the paper's reproduction experiments and prints the
-corresponding table or figure, e.g.::
+One argparse subcommand parser with four verbs, sharing ``--json``
+(document output) and ``--seed`` (base seed) options:
 
-    python -m repro table2          # instant
-    python -m repro table1 table3   # several at once
-    python -m repro all             # everything (several minutes)
+``run`` — paper-fidelity experiments (reference trace, 64 procs)::
 
-The heavyweight experiments (table3/4/5, fig3) consume the reference RM3D
-trace, generated once (~30 s) and cached under ``.cache/``.
+    python -m repro run table2          # instant
+    python -m repro run table1 table3   # several at once
+    python -m repro run all             # everything (several minutes)
+    python -m repro table2              # legacy spelling, same as 'run'
 
-There is also an observability verb::
+``sweep`` — the parallel, cache-aware scenario sweep
+(:mod:`repro.sweep`) over the registered set of experiments, ablations
+and chaos configurations::
+
+    python -m repro sweep                        # everything, serial
+    python -m repro sweep --filter 'table*' --jobs 4
+    python -m repro sweep --no-cache --json BENCH_sweep.json
+    python -m repro sweep --list                 # show the registry
+
+``report`` — the observed quickstart run (:mod:`repro.obs`)::
 
     python -m repro report                  # text run report
-    python -m repro report --json           # JSON document on stdout
     python -m repro report --json out.json  # JSON document to a file
 
-which drives the quickstart scenario under the metrics/tracing layer
-(:mod:`repro.obs`) and summarizes where time goes.
+``chaos`` — seeded Poisson failure sweeps through the fault-tolerant
+simulator (:mod:`repro.resilience.chaos`), exiting non-zero when a
+recovery invariant is violated::
 
-And a chaos verb::
-
-    python -m repro chaos                   # text chaos-sweep summary
+    python -m repro chaos
     python -m repro chaos --json out.json   # BENCH_chaos.json document
 
-which sweeps seeded Poisson failure schedules through the fault-tolerant
-execution simulator (:mod:`repro.resilience.chaos`) and checks the
-recovery invariants.
+The heavyweight experiments (table3/4/5, fig3/4) consume the reference
+RM3D trace, generated once (~30 s) and cached under ``.cache/``; the
+sweep uses the reduced CI-sized trace and caches results
+content-addressed under ``.cache/sweep/``.
 """
 
 from __future__ import annotations
@@ -35,57 +43,112 @@ import argparse
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS, common
+from repro.experiments import EXPERIMENTS
 
-#: experiments that consume the reference RM3D trace
-_TRACE_EXPERIMENTS = {"table3", "table4", "table5", "fig3", "fig4"}
+#: the subcommand verbs; anything else in argv[0] is a legacy experiment
+#: spelling and is rewritten to ``run <argv...>``
+VERBS = ("run", "sweep", "report", "chaos")
 
 
-def _run_one(name: str, trace) -> str:
-    module = EXPERIMENTS[name]
-    if name in _TRACE_EXPERIMENTS:
-        result = module.run(trace)
+def _emit(document, json_arg) -> None:
+    """Write ``document`` as JSON to stdout (``-``) or a path."""
+    from repro.obs.export import export_json
+
+    if json_arg == "-":
+        export_json(document, sys.stdout)
     else:
-        result = module.run()
-    return module.render(result)
+        export_json(document, json_arg)
+        print(f"wrote {json_arg}", file=sys.stderr)
 
 
-def report_main(argv: list[str]) -> int:
-    """The ``report`` verb: observed quickstart run -> text or JSON."""
-    parser = argparse.ArgumentParser(
-        prog="repro report",
-        description="Run the quickstart scenario under the observability "
-        "layer and report per-phase timings, partitioner switching and "
-        "message-center traffic.",
-    )
-    parser.add_argument(
+def _shared_parents() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
+    """The ``--json`` and ``--seed`` option groups shared across verbs."""
+    json_parent = argparse.ArgumentParser(add_help=False)
+    json_parent.add_argument(
         "--json",
         nargs="?",
         const="-",
         default=None,
         metavar="PATH",
-        help="emit the report as JSON to PATH ('-' or no value: stdout)",
+        help="emit the result as JSON to PATH ('-' or no value: stdout)",
     )
-    parser.add_argument(
-        "--steps", type=int, default=160,
-        help="coarse steps for the trace-replay runs (default 160)",
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for deterministic scenario seed derivation "
+        "(default 0)",
     )
-    parser.add_argument(
-        "--online-steps", type=int, default=48,
-        help="coarse steps for the event-driven online run (default 48; "
-        "0 disables it)",
-    )
-    parser.add_argument(
-        "--spans", action="store_true",
-        help="include individual span records in the JSON output",
-    )
-    args = parser.parse_args(argv)
-    if args.steps < 1:
-        parser.error(f"--steps must be >= 1, got {args.steps}")
-    if args.online_steps < 0:
-        parser.error(f"--online-steps must be >= 0, got {args.online_steps}")
+    return json_parent, seed_parent
 
-    from repro.obs.export import export_json
+
+def run_main(args: argparse.Namespace) -> int:
+    """The ``run`` verb: paper-fidelity experiments -> tables/figures."""
+    from repro.sweep.builtin import paper_scenario
+
+    names = (
+        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+    trace_needed = any(
+        "trace" in paper_scenario(n).params for n in names
+    )
+    if trace_needed:
+        print("loading reference RM3D trace (generated on first use) ...",
+              file=sys.stderr)
+
+    from pathlib import Path
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    documents = {}
+    for name in names:
+        scenario = paper_scenario(name)
+        ctx = scenario.make_context(args.seed, cache_dir)
+        t0 = time.perf_counter()
+        result = scenario.run(ctx)
+        elapsed = time.perf_counter() - t0
+        documents[name] = result
+        if args.json is None:
+            print(scenario.render(result))
+            print(f"[{name} took {elapsed:.1f}s]\n", file=sys.stderr)
+    if args.json is not None:
+        _emit({"experiments": documents}, args.json)
+    return 0
+
+
+def sweep_main(args: argparse.Namespace) -> int:
+    """The ``sweep`` verb: parallel cache-aware scenario execution."""
+    from repro.sweep import run_sweep
+    from repro.sweep.runner import _import_scenario_modules
+
+    if args.list:
+        from repro.sweep.scenario import all_scenarios
+
+        _import_scenario_modules(("repro.sweep.builtin",))
+        for scenario in all_scenarios():
+            tags = ",".join(sorted(scenario.tags)) or "-"
+            print(f"{scenario.name:<24} [{tags:<16}] {scenario.description}")
+        return 0
+
+    result = run_sweep(
+        args.filter,
+        tags=tuple(args.tag),
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        base_seed=args.seed,
+        cache_dir=args.cache_dir,
+    )
+    if not result.tasks:
+        print(f"no registered scenario matches {args.filter!r}",
+              file=sys.stderr)
+        return 2
+    if args.json is None:
+        print(result.render())
+    else:
+        _emit(result.to_dict(), args.json)
+    return 0 if result.ok else 1
+
+
+def report_main(args: argparse.Namespace) -> int:
+    """The ``report`` verb: observed quickstart run -> text or JSON."""
     from repro.obs.report import collect_run_report
 
     print("running the observed quickstart scenario ...", file=sys.stderr)
@@ -96,131 +159,191 @@ def report_main(argv: list[str]) -> int:
     )
     if args.json is None:
         print(report.render())
-    elif args.json == "-":
-        export_json(report.to_dict(), sys.stdout)
     else:
-        export_json(report.to_dict(), args.json)
-        print(f"wrote {args.json}", file=sys.stderr)
+        _emit(report.to_dict(), args.json)
     return 0
 
 
-def chaos_main(argv: list[str]) -> int:
+def chaos_main(args: argparse.Namespace) -> int:
     """The ``chaos`` verb: Poisson failure sweep -> text or JSON.
 
     Exits non-zero when any recovery invariant is violated, so the sweep
     doubles as a CI gate.
     """
-    parser = argparse.ArgumentParser(
-        prog="repro chaos",
-        description="Sweep seeded Poisson failure schedules through the "
-        "fault-tolerant execution simulator and check the recovery "
-        "invariants (no work lost, patches on live nodes, bounded "
-        "recovery lag).",
-    )
-    parser.add_argument(
-        "--json",
-        nargs="?",
-        const="-",
-        default=None,
-        metavar="PATH",
-        help="emit the result as JSON to PATH ('-' or no value: stdout)",
-    )
-    parser.add_argument(
-        "--seeds", type=int, nargs="+", default=[0, 1, 2],
-        help="failure-schedule seeds, one replay each (default: 0 1 2)",
-    )
-    parser.add_argument(
-        "--steps", type=int, default=96,
-        help="coarse steps per replay (default 96)",
-    )
-    parser.add_argument(
-        "--procs", type=int, default=16,
-        help="processors in the simulated cluster (default 16)",
-    )
-    parser.add_argument(
-        "--mtbf", type=float, default=300.0,
-        help="per-node mean time between failures, seconds (default 300)",
-    )
-    parser.add_argument(
-        "--mttr", type=float, default=40.0,
-        help="mean time to repair, seconds (default 40)",
-    )
-    parser.add_argument(
-        "--loss-rate", type=float, default=0.05,
-        help="message-center loss rate for the agent soak (default 0.05; "
-        "0 skips the soak)",
-    )
-    args = parser.parse_args(argv)
-
-    from repro.obs.export import export_json
     from repro.resilience.chaos import ChaosConfig, render_chaos, run_chaos
 
-    try:
-        config = ChaosConfig(
-            num_procs=args.procs,
-            num_coarse_steps=args.steps,
-            mtbf=args.mtbf,
-            mttr=args.mttr,
-            seeds=tuple(args.seeds),
-            loss_rate=args.loss_rate,
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
-
+    seeds = args.seeds if args.seeds else [args.seed + k for k in range(3)]
+    config = ChaosConfig(
+        num_procs=args.procs,
+        num_coarse_steps=args.steps,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        seeds=tuple(seeds),
+        loss_rate=args.loss_rate,
+    )
     print("running the chaos sweep ...", file=sys.stderr)
     result = run_chaos(config)
     if args.json is None:
         print(render_chaos(result))
-    elif args.json == "-":
-        export_json(result, sys.stdout)
     else:
-        export_json(result, args.json)
-        print(f"wrote {args.json}", file=sys.stderr)
+        _emit(result, args.json)
     return 0 if result["aggregate"]["all_invariants_hold"] else 1
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
-    if argv is None:
-        argv = sys.argv[1:]
-    if argv and argv[0] == "report":
-        return report_main(argv[1:])
-    if argv and argv[0] == "chaos":
-        return chaos_main(argv[1:])
+def build_parser() -> argparse.ArgumentParser:
+    """The single subcommand parser behind ``python -m repro``."""
+    json_parent, seed_parent = _shared_parents()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of the Pragma paper "
         "(Parashar & Hariri, IPDPS 2002).",
     )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_run = sub.add_parser(
+        "run",
+        parents=[json_parent, seed_parent],
+        help="run paper-fidelity experiments (reference trace)",
+        description="Run experiments at paper fidelity and print the "
+        "corresponding tables/figures.",
+    )
+    p_run.add_argument(
         "experiments",
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which experiment(s) to run ('all' for everything)",
     )
-    parser.add_argument(
+    p_run.add_argument(
         "--cache-dir",
         default=None,
         help="directory for the cached reference trace (default: .cache/)",
     )
-    args = parser.parse_args(argv)
+    p_run.set_defaults(func=run_main)
 
-    names = (
-        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[json_parent, seed_parent],
+        help="parallel cache-aware sweep over the registered scenarios",
+        description="Run the registered scenario set (experiments, "
+        "ablations, chaos configs) in parallel with content-addressed "
+        "result caching.",
     )
-    trace = None
-    if any(n in _TRACE_EXPERIMENTS for n in names):
-        print("loading reference RM3D trace (generated on first use) ...",
-              file=sys.stderr)
-        trace = common.rm3d_reference_trace(args.cache_dir)
+    p_sweep.add_argument(
+        "--filter", default=None, metavar="PATTERN",
+        help="substring or glob over scenario names (default: all)",
+    )
+    p_sweep.add_argument(
+        "--tag", action="append", default=[], metavar="TAG",
+        help="restrict to scenarios carrying TAG (repeatable; AND)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial; results are "
+        "bit-identical across job counts)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="skip cache reads and writes (always execute)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="cache root for shared traces and sweep results "
+        "(default: .cache/)",
+    )
+    p_sweep.add_argument(
+        "--list", action="store_true",
+        help="list the registered scenarios and exit",
+    )
+    p_sweep.set_defaults(func=sweep_main)
 
-    for name in names:
-        t0 = time.perf_counter()
-        output = _run_one(name, trace)
-        elapsed = time.perf_counter() - t0
-        print(output)
-        print(f"[{name} took {elapsed:.1f}s]\n", file=sys.stderr)
-    return 0
+    p_report = sub.add_parser(
+        "report",
+        parents=[json_parent],
+        help="observed quickstart run report",
+        description="Run the quickstart scenario under the observability "
+        "layer and report per-phase timings, partitioner switching and "
+        "message-center traffic.",
+    )
+    p_report.add_argument(
+        "--steps", type=int, default=160,
+        help="coarse steps for the trace-replay runs (default 160)",
+    )
+    p_report.add_argument(
+        "--online-steps", type=int, default=48,
+        help="coarse steps for the event-driven online run (default 48; "
+        "0 disables it)",
+    )
+    p_report.add_argument(
+        "--spans", action="store_true",
+        help="include individual span records in the JSON output",
+    )
+    p_report.set_defaults(func=report_main)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        parents=[json_parent, seed_parent],
+        help="Poisson failure sweep through the fault-tolerant simulator",
+        description="Sweep seeded Poisson failure schedules through the "
+        "fault-tolerant execution simulator and check the recovery "
+        "invariants (no work lost, patches on live nodes, bounded "
+        "recovery lag).",
+    )
+    p_chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="failure-schedule seeds, one replay each "
+        "(default: --seed, --seed+1, --seed+2)",
+    )
+    p_chaos.add_argument(
+        "--steps", type=int, default=96,
+        help="coarse steps per replay (default 96)",
+    )
+    p_chaos.add_argument(
+        "--procs", type=int, default=16,
+        help="processors in the simulated cluster (default 16)",
+    )
+    p_chaos.add_argument(
+        "--mtbf", type=float, default=300.0,
+        help="per-node mean time between failures, seconds (default 300)",
+    )
+    p_chaos.add_argument(
+        "--mttr", type=float, default=40.0,
+        help="mean time to repair, seconds (default 40)",
+    )
+    p_chaos.add_argument(
+        "--loss-rate", type=float, default=0.05,
+        help="message-center loss rate for the agent soak (default 0.05; "
+        "0 skips the soak)",
+    )
+    p_chaos.set_defaults(func=chaos_main)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Legacy spellings without a verb (``python -m repro table2``) are
+    rewritten to the ``run`` verb.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] not in VERBS and not argv[0].startswith("-"):
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verb == "report":
+        if args.steps < 1:
+            parser.error(f"--steps must be >= 1, got {args.steps}")
+        if args.online_steps < 0:
+            parser.error(
+                f"--online-steps must be >= 0, got {args.online_steps}"
+            )
+    if args.verb == "sweep" and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,14 +5,15 @@ from __future__ import annotations
 from repro.agents import ManagementComputingSystem, ManagementEditor
 from repro.agents.mcs import ExecutionEnvironment
 from repro.apps.loadgen import LoadPattern
+from repro.experiments.common import warn_deprecated
 from repro.gridsys import FailureEvent, linux_cluster
 from repro.monitoring import ResourceMonitor
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["run", "render"]
+__all__ = ["run", "render", "run_scenario", "render_scenario"]
 
 
-def run(seed: int = 21) -> ExecutionEnvironment:
-    """AME spec → MCS build → ADM/CA management through a node failure."""
+def _run(seed: int = 21) -> ExecutionEnvironment:
     cluster = linux_cluster(
         8, load_pattern=LoadPattern.STEPPED, max_load=0.5, seed=seed
     )
@@ -35,23 +36,64 @@ def run(seed: int = 21) -> ExecutionEnvironment:
     return env
 
 
-def render(env: ExecutionEnvironment) -> str:
+def _digest(env: ExecutionEnvironment) -> dict:
+    return {
+        "spec": {
+            "name": env.spec.name,
+            "components": list(env.spec.components),
+            "requirements": dict(env.spec.requirements),
+        },
+        "template": env.template.name,
+        "decisions": [list(d) for d in env.adm.decisions],
+        "agents": [
+            {
+                "name": agent.port.name,
+                "node": comp.node_id,
+                "migrations": comp.migrations,
+                "events": agent.events_published,
+                "actions": len(agent.actions_taken),
+            }
+            for comp, agent in zip(env.components, env.agents)
+        ],
+        "delivered": env.message_center.delivered_count,
+    }
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: AME spec → MCS build → ADM/CA management
+    through a node failure; returns the JSON pipeline-trace digest."""
+    return _digest(_run(seed=ctx.params.get("seed", 21)))
+
+
+def render_scenario(result: dict) -> str:
     """Format the management-pipeline trace as text."""
+    spec = result["spec"]
     lines = [
         "Figure 1 — CATALINA management pipeline trace",
-        f"  AME spec: {env.spec.name}, components={env.spec.components}, "
-        f"requirements={dict(env.spec.requirements)}",
-        f"  MCS template discovered: {env.template.name}",
-        f"  ADM decisions: {env.adm.decisions}",
+        f"  AME spec: {spec['name']}, components={tuple(spec['components'])}, "
+        f"requirements={spec['requirements']}",
+        f"  MCS template discovered: {result['template']}",
+        f"  ADM decisions: {[tuple(d) for d in result['decisions']]}",
     ]
-    for comp, agent in zip(env.components, env.agents):
+    for agent in result["agents"]:
         lines.append(
-            f"  CA {agent.port.name}: node={comp.node_id} "
-            f"migrations={comp.migrations} events={agent.events_published} "
-            f"actions={len(agent.actions_taken)}"
+            f"  CA {agent['name']}: node={agent['node']} "
+            f"migrations={agent['migrations']} events={agent['events']} "
+            f"actions={agent['actions']}"
         )
     lines.append(
-        f"  Message Center delivered {env.message_center.delivered_count} "
-        f"messages"
+        f"  Message Center delivered {result['delivered']} messages"
     )
     return "\n".join(lines)
+
+
+def run(seed: int = 21) -> ExecutionEnvironment:
+    """Deprecated shim — use the ``fig1`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("fig1.run()", "fig1.run_scenario(ctx)")
+    return _run(seed)
+
+
+def render(env: ExecutionEnvironment) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("fig1.render()", "fig1.render_scenario(result)")
+    return render_scenario(_digest(env))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.amr.box import Box
 from repro.amr.grid import Level, Patch
 from repro.amr.hierarchy import GridHierarchy
+from repro.experiments.common import warn_deprecated
 from repro.policy import (
     Octant,
     OctantAxes,
@@ -12,8 +13,10 @@ from repro.policy import (
     classify_hierarchy,
 )
 from repro.policy.octant import AppSignals
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["CORNER_THRESHOLDS", "run", "render"]
+__all__ = ["CORNER_THRESHOLDS", "run", "render", "run_scenario",
+           "render_scenario"]
 
 DOMAIN = Box.from_shape((64, 32, 32))
 
@@ -60,8 +63,7 @@ def corner_state(
     return _hierarchy(boxes)
 
 
-def run() -> dict[tuple[bool, bool, bool], tuple[Octant, AppSignals]]:
-    """Classify all 8 synthetic corner states."""
+def _run() -> dict[tuple[bool, bool, bool], tuple[Octant, AppSignals]]:
     out = {}
     for scattered in (False, True):
         for moving in (False, True):
@@ -75,22 +77,54 @@ def run() -> dict[tuple[bool, bool, bool], tuple[Octant, AppSignals]]:
     return out
 
 
-def render(results) -> str:
+def _digest(results) -> dict:
+    corners = []
+    for (scattered, moving, thin), (octant, _sig) in sorted(results.items()):
+        expected = OctantAxes(
+            scattered=scattered, high_dynamics=moving, comm_dominated=thin
+        ).octant()
+        corners.append({
+            "scattered": scattered,
+            "moving": moving,
+            "thin": thin,
+            "octant": octant.value,
+            "expected": expected.value,
+            "ok": octant is expected,
+        })
+    return {"corners": corners}
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: classify all 8 synthetic corner states;
+    returns the JSON state-cube digest."""
+    return _digest(_run())
+
+
+def render_scenario(result: dict) -> str:
     """Format the classified state cube as text."""
     lines = [
         "Figure 2 — the octant state cube",
         f"{'pattern':>10} {'dynamics':>9} {'dominance':>10} "
         f"{'-> octant':>10} {'expected':>9}",
     ]
-    for (scattered, moving, thin), (octant, _sig) in sorted(results.items()):
-        expected = OctantAxes(
-            scattered=scattered, high_dynamics=moving, comm_dominated=thin
-        ).octant()
+    for c in result["corners"]:
         lines.append(
-            f"{'scattered' if scattered else 'localized':>10} "
-            f"{'high' if moving else 'low':>9} "
-            f"{'comm' if thin else 'comp':>10} "
-            f"{octant.value:>10} {expected.value:>9} "
-            f"{'ok' if octant is expected else 'MISS'}"
+            f"{'scattered' if c['scattered'] else 'localized':>10} "
+            f"{'high' if c['moving'] else 'low':>9} "
+            f"{'comm' if c['thin'] else 'comp':>10} "
+            f"{c['octant']:>10} {c['expected']:>9} "
+            f"{'ok' if c['ok'] else 'MISS'}"
         )
     return "\n".join(lines)
+
+
+def run() -> dict[tuple[bool, bool, bool], tuple[Octant, AppSignals]]:
+    """Deprecated shim — use the ``fig2`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("fig2.run()", "fig2.run_scenario(ctx)")
+    return _run()
+
+
+def render(results) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("fig2.render()", "fig2.render_scenario(result)")
+    return render_scenario(_digest(results))

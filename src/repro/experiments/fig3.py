@@ -5,16 +5,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.amr.trace import AdaptationTrace
+from repro.experiments.common import warn_deprecated
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["SAMPLED", "run", "render"]
+__all__ = ["SAMPLED", "ascii_profile", "run", "render", "run_scenario",
+           "render_scenario"]
 
 SAMPLED = (0, 5, 25, 106, 137, 162, 174, 201)
 
 
-def run(trace: AdaptationTrace) -> dict[int, dict]:
-    """Refinement profiles + structure stats at the sampled snapshots."""
+def _run(trace: AdaptationTrace) -> dict[int, dict]:
     out = {}
     for idx in SAMPLED:
+        if idx >= len(trace):
+            continue
         snap = trace[idx]
         mask = snap.hierarchy.refined_mask()
         out[idx] = {
@@ -25,6 +29,29 @@ def run(trace: AdaptationTrace) -> dict[int, dict]:
             "cells": snap.total_cells,
         }
     return out
+
+
+def _digest(data: dict[int, dict]) -> dict:
+    return {
+        "snapshots": [
+            {
+                "index": idx,
+                "x_profile": [float(v) for v in d["x_profile"]],
+                "refined_fraction": d["refined_fraction"],
+                "patches": d["patches"],
+                "levels": d["levels"],
+                "cells": d["cells"],
+            }
+            for idx, d in sorted(data.items())
+        ],
+    }
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: refinement profiles + structure stats at the
+    sampled snapshots present in the configured trace; returns the JSON
+    profile digest."""
+    return _digest(_run(ctx.trace()))
 
 
 def ascii_profile(profile: np.ndarray, bins: int = 64) -> str:
@@ -38,16 +65,28 @@ def ascii_profile(profile: np.ndarray, bins: int = 64) -> str:
     return "".join(ramp[i] for i in idx)
 
 
-def render(data: dict[int, dict]) -> str:
+def render_scenario(result: dict) -> str:
     """Format the sampled refinement profiles as ASCII strips."""
     lines = [
         "Figure 3 — RM3D refinement profiles at sampled snapshots",
         "(density of refined cells along the shock axis x)",
     ]
-    for idx in SAMPLED:
-        d = data[idx]
+    for d in result["snapshots"]:
         lines.append(
-            f"  t={idx:>3}  |{ascii_profile(d['x_profile'])}|  "
+            f"  t={d['index']:>3}  "
+            f"|{ascii_profile(np.asarray(d['x_profile']))}|  "
             f"rf={d['refined_fraction']:.3f} patches={d['patches']}"
         )
     return "\n".join(lines)
+
+
+def run(trace: AdaptationTrace) -> dict[int, dict]:
+    """Deprecated shim — use the ``fig3`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("fig3.run()", "fig3.run_scenario(ctx)")
+    return _run(trace)
+
+
+def render(data: dict[int, dict]) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("fig3.render()", "fig3.render_scenario(result)")
+    return render_scenario(_digest(data))

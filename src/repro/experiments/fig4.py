@@ -5,15 +5,16 @@ from __future__ import annotations
 from repro.amr.trace import AdaptationTrace
 from repro.apps.loadgen import LoadPattern
 from repro.core import CapacityCalculator, CapacityWeights
+from repro.experiments.common import warn_deprecated
 from repro.gridsys import linux_cluster
 from repro.monitoring import ResourceMonitor
 from repro.partitioners import HeterogeneousPartitioner, build_units
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["run", "render"]
+__all__ = ["run", "render", "run_scenario", "render_scenario"]
 
 
-def run(trace: AdaptationTrace, seed: int = 33):
-    """Monitoring → capacity calculator → heterogeneous partitioner."""
+def _run(trace: AdaptationTrace, seed: int = 33):
     cluster = linux_cluster(
         8, load_pattern=LoadPattern.STEPPED, max_load=0.7, seed=seed
     )
@@ -28,20 +29,53 @@ def run(trace: AdaptationTrace, seed: int = 33):
     return monitor, capacities, partition
 
 
-def render(result) -> str:
-    """Format the per-node monitoring/capacity/load-share table."""
+def _digest(result) -> dict:
     monitor, capacities, partition = result
     loads = partition.proc_loads()
     shares = loads / loads.sum()
+    nodes = []
+    for n in range(len(capacities)):
+        state = monitor.current(n)
+        nodes.append({
+            "node": n,
+            "cpu_avail": float(state.cpu),
+            "bandwidth": float(state.bandwidth),
+            "capacity": float(capacities[n]),
+            "load_share": float(shares[n]),
+        })
+    return {"nodes": nodes}
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: monitoring → capacity calculator →
+    heterogeneous partitioner on the configured trace; returns the JSON
+    per-node digest."""
+    return _digest(_run(ctx.trace(), seed=ctx.params.get("seed", 33)))
+
+
+def render_scenario(result: dict) -> str:
+    """Format the per-node monitoring/capacity/load-share table."""
     lines = [
         "Figure 4 — monitoring -> capacity calculator -> partitioner",
         f"{'node':>5} {'cpu avail':>10} {'bandwidth':>12} "
         f"{'capacity':>9} {'load share':>11}",
     ]
-    for n in range(len(capacities)):
-        state = monitor.current(n)
+    for d in result["nodes"]:
         lines.append(
-            f"{n:>5} {state.cpu:>10.3f} {state.bandwidth:>12.3e} "
-            f"{capacities[n]:>9.3f} {shares[n]:>11.3f}"
+            f"{d['node']:>5} {d['cpu_avail']:>10.3f} "
+            f"{d['bandwidth']:>12.3e} {d['capacity']:>9.3f} "
+            f"{d['load_share']:>11.3f}"
         )
     return "\n".join(lines)
+
+
+def run(trace: AdaptationTrace, seed: int = 33):
+    """Deprecated shim — use the ``fig4`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("fig4.run()", "fig4.run_scenario(ctx)")
+    return _run(trace, seed)
+
+
+def render(result) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("fig4.render()", "fig4.render_scenario(result)")
+    return render_scenario(_digest(result))

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from repro.experiments.common import warn_deprecated
 from repro.perf import PFModelingExperiment
 from repro.perf.endtoend import PFAccuracyRow, TABLE1_SIZES
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "run", "render", "run_scenario", "render_scenario"]
 
 #: data size (bytes) -> (predicted delay, measured delay, % error)
 PAPER = {
@@ -17,21 +19,54 @@ PAPER = {
 }
 
 
-def run(seed: int = 3) -> list[PFAccuracyRow]:
-    """Fit per-component PFs, compose end to end, validate on Table 1 sizes."""
+def _run(seed: int = 3) -> list[PFAccuracyRow]:
     return PFModelingExperiment(seed=seed).evaluate(TABLE1_SIZES)
 
 
-def render(rows: list[PFAccuracyRow]) -> str:
+def _digest(rows: list[PFAccuracyRow]) -> dict:
+    return {
+        "rows": [
+            {
+                "size": r.data_size,
+                "predicted": r.predicted,
+                "measured": r.measured,
+                "error_pct": r.error_pct,
+            }
+            for r in rows
+        ],
+    }
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: fit per-component PFs, compose end to end,
+    validate on the Table 1 sizes; returns the JSON row digest."""
+    return _digest(_run(seed=ctx.params.get("seed", 3)))
+
+
+def render_scenario(result: dict) -> str:
     """Format the Table 1 comparison (ours vs paper) as text."""
     lines = [
         "Table 1 — Accuracy of the Performance Functions",
         f"{'size(B)':>8} {'predicted':>12} {'measured':>12} "
         f"{'%error':>8} {'paper %error':>13}",
     ]
-    for r in rows:
+    for r in result["rows"]:
+        paper = PAPER.get(r["size"])
+        paper_err = f"{paper[2]:>13.3f}" if paper else f"{'-':>13}"
         lines.append(
-            f"{r.data_size:>8} {r.predicted:>12.6g} {r.measured:>12.6g} "
-            f"{r.error_pct:>8.3f} {PAPER[r.data_size][2]:>13.3f}"
+            f"{r['size']:>8} {r['predicted']:>12.6g} {r['measured']:>12.6g} "
+            f"{r['error_pct']:>8.3f} {paper_err}"
         )
     return "\n".join(lines)
+
+
+def run(seed: int = 3) -> list[PFAccuracyRow]:
+    """Deprecated shim — use the ``table1`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("table1.run()", "table1.run_scenario(ctx)")
+    return _run(seed)
+
+
+def render(rows: list[PFAccuracyRow]) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("table1.render()", "table1.render_scenario(result)")
+    return render_scenario(_digest(rows))

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from repro.experiments.common import warn_deprecated
 from repro.policy import Octant, default_policy_base
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["PAPER", "run", "render"]
+__all__ = ["PAPER", "run", "render", "run_scenario", "render_scenario"]
 
 PAPER = {
     "I": ("pBD-ISP", "G-MISP+SP"),
@@ -18,20 +20,49 @@ PAPER = {
 }
 
 
-def run() -> dict[Octant, dict]:
-    """Query the default policy base for every octant."""
+def _run() -> dict[Octant, dict]:
     kb = default_policy_base()
     return {octant: kb.merged_action({"octant": octant}) for octant in Octant}
 
 
-def render(actions: dict[Octant, dict]) -> str:
+def _digest(actions: dict[Octant, dict]) -> dict:
+    return {
+        "octants": {
+            octant.value: {
+                "partitioners": list(action["partitioners"]),
+                "partitioner": action["partitioner"],
+            }
+            for octant, action in actions.items()
+        },
+    }
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: query the default policy base for every
+    octant; returns the JSON recommendation digest."""
+    return _digest(_run())
+
+
+def render_scenario(result: dict) -> str:
     """Format the Table 2 comparison (ours vs paper) as text."""
     lines = [
         "Table 2 — Octant -> partitioning scheme recommendations",
         f"{'octant':>7}  {'schemes (ours)':<28} {'schemes (paper)':<28}",
     ]
     for octant in Octant:
-        ours = ", ".join(actions[octant]["partitioners"])
+        ours = ", ".join(result["octants"][octant.value]["partitioners"])
         paper = ", ".join(PAPER[octant.value])
         lines.append(f"{octant.value:>7}  {ours:<28} {paper:<28}")
     return "\n".join(lines)
+
+
+def run() -> dict[Octant, dict]:
+    """Deprecated shim — use the ``table2`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("table2.run()", "table2.run_scenario(ctx)")
+    return _run()
+
+
+def render(actions: dict[Octant, dict]) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("table2.render()", "table2.render_scenario(result)")
+    return render_scenario(_digest(actions))

@@ -6,9 +6,12 @@ from dataclasses import dataclass
 
 from repro.amr.trace import AdaptationTrace
 from repro.core import MetaPartitioner
+from repro.experiments.common import warn_deprecated
 from repro.policy import Octant, classify_trace
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["PAPER", "Table3Row", "run", "render"]
+__all__ = ["PAPER", "Table3Row", "run", "render", "run_scenario",
+           "render_scenario"]
 
 #: snapshot index -> (octant, selected partitioner)
 PAPER = {
@@ -32,8 +35,7 @@ class Table3Row:
     partitioner: str
 
 
-def run(trace: AdaptationTrace) -> list[Table3Row]:
-    """Classify every snapshot; select partitioners through Table 2."""
+def _run(trace: AdaptationTrace) -> list[Table3Row]:
     states = classify_trace(trace)
     meta = MetaPartitioner()
     return [
@@ -46,21 +48,66 @@ def run(trace: AdaptationTrace) -> list[Table3Row]:
     ]
 
 
-def render(rows: list[Table3Row]) -> str:
+def _digest(rows: list[Table3Row]) -> dict:
+    sampled = {}
+    matches = 0
+    for idx, (p_oct, p_part) in sorted(PAPER.items()):
+        if idx >= len(rows):
+            continue
+        row = rows[idx]
+        ok = row.octant.value == p_oct and row.partitioner == p_part
+        matches += ok
+        sampled[str(idx)] = {
+            "octant": row.octant.value,
+            "partitioner": row.partitioner,
+            "paper_octant": p_oct,
+            "paper_partitioner": p_part,
+            "ok": bool(ok),
+        }
+    return {
+        "num_snapshots": len(rows),
+        "rows": [[r.octant.value, r.partitioner] for r in rows],
+        "sampled": sampled,
+        "agreement": matches,
+    }
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: classify every snapshot of the configured
+    trace and select partitioners through Table 2; returns the JSON
+    classification digest (paper-sampled indices included when the
+    trace is long enough to contain them)."""
+    return _digest(_run(ctx.trace()))
+
+
+def render_scenario(result: dict) -> str:
     """Format the sampled-snapshot comparison against the paper."""
     lines = [
         "Table 3 — RM3D run-time state characterization",
         f"{'snapshot':>9} {'octant':>7} {'partitioner':>12} "
         f"{'paper octant':>13} {'paper partitioner':>18}",
     ]
-    matches = 0
-    for idx, (p_oct, p_part) in sorted(PAPER.items()):
-        row = rows[idx]
-        ok = row.octant.value == p_oct and row.partitioner == p_part
-        matches += ok
+    sampled = result["sampled"]
+    for idx in sorted(sampled, key=int):
+        s = sampled[idx]
         lines.append(
-            f"{idx:>9} {row.octant.value:>7} {row.partitioner:>12} "
-            f"{p_oct:>13} {p_part:>18}  {'ok' if ok else 'MISS'}"
+            f"{idx:>9} {s['octant']:>7} {s['partitioner']:>12} "
+            f"{s['paper_octant']:>13} {s['paper_partitioner']:>18}  "
+            f"{'ok' if s['ok'] else 'MISS'}"
         )
-    lines.append(f"agreement: {matches}/{len(PAPER)} sampled snapshots")
+    lines.append(
+        f"agreement: {result['agreement']}/{len(sampled)} sampled snapshots"
+    )
     return "\n".join(lines)
+
+
+def run(trace: AdaptationTrace) -> list[Table3Row]:
+    """Deprecated shim — use the ``table3`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("table3.run()", "table3.run_scenario(ctx)")
+    return _run(trace)
+
+
+def render(rows: list[Table3Row]) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("table3.render()", "table3.render_scenario(result)")
+    return render_scenario(_digest(rows))

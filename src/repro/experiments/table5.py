@@ -6,10 +6,13 @@ from repro.amr.trace import AdaptationTrace
 from repro.apps.loadgen import LoadPattern
 from repro.core import CapacityCalculator, CapacityWeights, SystemSensitivePipeline
 from repro.execsim import CostModel
+from repro.experiments.common import warn_deprecated
 from repro.gridsys import linux_cluster
 from repro.monitoring import ResourceMonitor
+from repro.sweep.scenario import ScenarioContext
 
-__all__ = ["PROC_COUNTS", "PAPER_32_NODE_IMPROVEMENT", "run", "render"]
+__all__ = ["PROC_COUNTS", "PAPER_32_NODE_IMPROVEMENT", "run", "render",
+           "run_scenario", "render_scenario"]
 
 PROC_COUNTS = (4, 8, 16, 32)
 
@@ -36,8 +39,7 @@ def build_pipeline(seed: int = 42) -> SystemSensitivePipeline:
     )
 
 
-def run(trace: AdaptationTrace, seed: int = 42) -> dict[int, float]:
-    """Improvement of system-sensitive over equal partitioning per size."""
+def _run(trace: AdaptationTrace, seed: int = 42) -> dict[int, float]:
     pipeline = build_pipeline(seed)
     pipeline.warm_up()
     return {
@@ -45,16 +47,40 @@ def run(trace: AdaptationTrace, seed: int = 42) -> dict[int, float]:
     }
 
 
-def render(improvements: dict[int, float]) -> str:
+def _digest(improvements: dict[int, float]) -> dict:
+    return {
+        "improvements": {str(n): improvements[n] for n in sorted(improvements)},
+    }
+
+
+def run_scenario(ctx: ScenarioContext) -> dict:
+    """Scenario entrypoint: improvement of system-sensitive over equal
+    partitioning at each processor count; returns the JSON digest."""
+    return _digest(_run(ctx.trace(), seed=ctx.params.get("seed", 42)))
+
+
+def render_scenario(result: dict) -> str:
     """Format the per-processor-count improvement table as text."""
     lines = [
         "Table 5 — improvement of system-sensitive over equal partitioning",
         f"{'processors':>11} {'improvement(%)':>15}",
     ]
-    for n in PROC_COUNTS:
-        lines.append(f"{n:>11} {improvements[n]:>15.1f}")
+    for n in sorted(result["improvements"], key=int):
+        lines.append(f"{int(n):>11} {result['improvements'][n]:>15.1f}")
     lines.append(
         f"(paper: about {PAPER_32_NODE_IMPROVEMENT:.0f}% at 32 nodes, "
         "growing with processor count)"
     )
     return "\n".join(lines)
+
+
+def run(trace: AdaptationTrace, seed: int = 42) -> dict[int, float]:
+    """Deprecated shim — use the ``table5`` scenario (:mod:`repro.sweep`)."""
+    warn_deprecated("table5.run()", "table5.run_scenario(ctx)")
+    return _run(trace, seed)
+
+
+def render(improvements: dict[int, float]) -> str:
+    """Deprecated shim — use :func:`render_scenario` on the JSON digest."""
+    warn_deprecated("table5.render()", "table5.render_scenario(result)")
+    return render_scenario(_digest(improvements))

@@ -17,7 +17,12 @@ five-component PAC quality metric (:class:`PACMetrics`).
 """
 
 from repro.partitioners.units import CompositeUnits, build_units
-from repro.partitioners.base import Partition, Partitioner, PartitionError
+from repro.partitioners.base import (
+    Partition,
+    Partitioner,
+    PartitionError,
+    deterministic_partition_time,
+)
 from repro.partitioners.metrics import PACMetrics, evaluate_partition
 from repro.partitioners.sequence import (
     greedy_sequence_partition,
@@ -48,6 +53,7 @@ __all__ = [
     "Partition",
     "Partitioner",
     "PartitionError",
+    "deterministic_partition_time",
     "PACMetrics",
     "evaluate_partition",
     "greedy_sequence_partition",

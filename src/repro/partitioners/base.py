@@ -4,13 +4,46 @@ from __future__ import annotations
 
 import abc
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.partitioners.units import CompositeUnits
 
-__all__ = ["PartitionError", "Partition", "Partitioner"]
+__all__ = ["PartitionError", "Partition", "Partitioner",
+           "deterministic_partition_time"]
+
+#: when set, partition() reports this modeled per-unit cost instead of
+#: measured wall-clock (see :func:`deterministic_partition_time`)
+_MODELED_SECONDS_PER_UNIT: float | None = None
+
+#: default modeled cost — the order of the measured per-unit cost of the
+#: ISP-family partitioners on this codebase
+DEFAULT_SECONDS_PER_UNIT = 1e-7
+
+
+@contextmanager
+def deterministic_partition_time(
+    seconds_per_unit: float = DEFAULT_SECONDS_PER_UNIT,
+):
+    """Scope within which partition timing is modeled, not measured.
+
+    ``Partition.partition_time`` is normally the measured wall-clock of
+    the assignment — faithful to the paper's system-sensitive design,
+    but a source of run-to-run noise because the execution simulator
+    folds it into simulated runtime.  Inside this context the cost is
+    modeled as ``seconds_per_unit * len(units)``, making every
+    simulator-based result bit-reproducible; the scenario sweep engine
+    (:mod:`repro.sweep`) wraps each scenario run in it.
+    """
+    global _MODELED_SECONDS_PER_UNIT
+    prev = _MODELED_SECONDS_PER_UNIT
+    _MODELED_SECONDS_PER_UNIT = float(seconds_per_unit)
+    try:
+        yield
+    finally:
+        _MODELED_SECONDS_PER_UNIT = prev
 
 
 class PartitionError(RuntimeError):
@@ -162,7 +195,10 @@ class Partitioner(abc.ABC):
                 raise PartitionError("capacities must be non-negative, sum > 0")
         t0 = time.perf_counter()
         assignment = self._assign(units, num_procs, capacities)
-        elapsed = time.perf_counter() - t0
+        if _MODELED_SECONDS_PER_UNIT is not None:
+            elapsed = _MODELED_SECONDS_PER_UNIT * len(units)
+        else:
+            elapsed = time.perf_counter() - t0
         return Partition(
             units=units,
             num_procs=num_procs,

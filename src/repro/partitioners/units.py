@@ -17,7 +17,7 @@ import numpy as np
 from repro.amr.box import Box
 from repro.amr.hierarchy import GridHierarchy
 from repro.amr.workload import WorkloadMap, composite_load_map
-from repro.sfc import CURVES
+from repro.sfc import CURVES, curve_order, curve_rank_of_cells
 
 __all__ = ["CompositeUnits", "build_units"]
 
@@ -130,18 +130,14 @@ def build_units(
         grid_shape[0], g, grid_shape[1], g, grid_shape[2], g
     ).sum(axis=(1, 3, 5))
 
-    # Curve order over lattice coordinates.
+    # Curve order over lattice coordinates (memoized by shape + curve).
     nx, ny, nz = grid_shape
     ii, jj, kk = np.meshgrid(
         np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
     )
     flat_ijk = np.column_stack([ii.ravel(), jj.ravel(), kk.ravel()])
-    bits = max(1, int(np.ceil(np.log2(max(grid_shape)))) if max(grid_shape) > 1 else 1)
-    keys = CURVES[curve](flat_ijk[:, 0], flat_ijk[:, 1], flat_ijk[:, 2], bits)
-    order = np.argsort(keys, kind="stable")
-
-    curve_position = np.empty(len(order), dtype=int)
-    curve_position[order] = np.arange(len(order))
+    order = curve_order(grid_shape, curve)
+    curve_position = curve_rank_of_cells(grid_shape, curve)
 
     return CompositeUnits(
         domain=domain,

@@ -9,7 +9,12 @@ the linearization helpers the partitioners consume.
 
 from repro.sfc.morton import morton_key, morton_decode
 from repro.sfc.hilbert import hilbert_key, hilbert_decode
-from repro.sfc.linearize import curve_order, curve_rank_of_cells, CURVES
+from repro.sfc.linearize import (
+    curve_order,
+    curve_rank_of_cells,
+    clear_curve_memo,
+    CURVES,
+)
 
 __all__ = [
     "morton_key",
@@ -18,5 +23,6 @@ __all__ = [
     "hilbert_decode",
     "curve_order",
     "curve_rank_of_cells",
+    "clear_curve_memo",
     "CURVES",
 ]

@@ -1,4 +1,12 @@
-"""Linearization of 3-D grids along space-filling curves."""
+"""Linearization of 3-D grids along space-filling curves.
+
+``curve_order`` is memoized by ``(shape, curve)``: the permutation for a
+given lattice is a pure function of its extents and curve choice, and
+the partitioning pipeline recomputes it for the same composite-unit
+lattice on every regrid.  Cached permutations are returned as read-only
+arrays (copy before mutating); the memo is bounded and evicts in
+insertion order.
+"""
 
 from __future__ import annotations
 
@@ -6,15 +14,25 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.sfc.hilbert import hilbert_key
 from repro.sfc.morton import morton_key
 
-__all__ = ["CURVES", "curve_order", "curve_rank_of_cells"]
+__all__ = ["CURVES", "curve_order", "curve_rank_of_cells", "clear_curve_memo"]
 
 CURVES: dict[str, Callable] = {
     "morton": morton_key,
     "hilbert": hilbert_key,
 }
+
+#: memoized (shape, curve) → read-only permutation; bounded FIFO
+_ORDER_MEMO: dict[tuple[tuple[int, int, int], str], np.ndarray] = {}
+_ORDER_MEMO_MAX = 64
+
+
+def clear_curve_memo() -> None:
+    """Drop all memoized curve permutations (mainly for tests)."""
+    _ORDER_MEMO.clear()
 
 
 def _bits_for(shape: Sequence[int]) -> int:
@@ -36,16 +54,30 @@ def curve_order(shape: Sequence[int], curve: str = "hilbert") -> np.ndarray:
     ``order[r]`` is the flat index of the ``r``-th cell along the curve.
     The sort is stable, so cells sharing a key (impossible for true SFC
     keys, but kept for safety) retain C order.
+
+    The result is memoized by ``(shape, curve)`` and returned as a
+    read-only array — copy it before mutating.
     """
     if curve not in CURVES:
         raise ValueError(f"unknown curve {curve!r}; choose from {sorted(CURVES)}")
     shape = tuple(int(s) for s in shape)
     if len(shape) != 3 or any(s < 1 for s in shape):
         raise ValueError(f"shape must be 3 positive extents, got {shape!r}")
+    memo_key = (shape, curve)
+    cached = _ORDER_MEMO.get(memo_key)
+    if cached is not None:
+        obs.counter("sfc.curve_order.memo", outcome="hit").inc()
+        return cached
+    obs.counter("sfc.curve_order.memo", outcome="miss").inc()
     bits = _bits_for(shape)
     x, y, z = _grid_coords(shape)
     keys = CURVES[curve](x, y, z, bits)
-    return np.argsort(keys, kind="stable")
+    order = np.argsort(keys, kind="stable")
+    order.setflags(write=False)
+    while len(_ORDER_MEMO) >= _ORDER_MEMO_MAX:
+        _ORDER_MEMO.pop(next(iter(_ORDER_MEMO)))
+    _ORDER_MEMO[memo_key] = order
+    return order
 
 
 def curve_rank_of_cells(shape: Sequence[int], curve: str = "hilbert") -> np.ndarray:

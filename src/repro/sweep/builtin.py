@@ -1,0 +1,246 @@
+"""The built-in scenario set: experiments, ablations, chaos configs.
+
+Importing this module populates the scenario registry
+(:mod:`repro.sweep.scenario`) with every stock configuration:
+
+- the nine paper experiments (``table1``–``table5``, ``fig1``–``fig4``)
+  in their CI-sized sweep form — trace-consuming experiments run on the
+  reduced shared trace, ``table4`` on 16 processors;
+- chaos configurations (``chaos-s0``, ``chaos-s1``) — seeded Poisson
+  failure replays through the fault-tolerant simulator;
+- ablations (``ablation-sfc-curves``, ``ablation-granularity``) —
+  partition-quality studies over the curve and granularity axes.
+
+:func:`paper_scenario` builds the *paper-fidelity* variant of an
+experiment (reference trace, 64 processors) for ``python -m repro run``;
+those are deliberately not registered, so the default sweep set stays
+CI-sized.  The sweep workers import this module in their pool
+initializer, which is how registered names resolve in child processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sweep.scenario import (
+    FunctionScenario,
+    Scenario,
+    ScenarioContext,
+    register,
+)
+
+__all__ = ["ensure_registered", "experiment_scenario", "paper_scenario"]
+
+#: sweep-sized parameters per experiment (reduced trace, modest procs)
+SWEEP_PARAMS: dict[str, dict[str, Any]] = {
+    "table1": {"seed": 3},
+    "table2": {},
+    "table3": {"trace": "small"},
+    "table4": {"trace": "small", "num_procs": 16},
+    "table5": {"trace": "small", "seed": 42},
+    "fig1": {"seed": 21},
+    "fig2": {},
+    "fig3": {"trace": "small"},
+    "fig4": {"trace": "small", "seed": 33},
+}
+
+#: paper-fidelity parameters (reference trace, the paper's 64 procs)
+PAPER_PARAMS: dict[str, dict[str, Any]] = {
+    "table1": {"seed": 3},
+    "table2": {},
+    "table3": {"trace": "reference"},
+    "table4": {"trace": "reference", "num_procs": 64},
+    "table5": {"trace": "reference", "seed": 42},
+    "fig1": {"seed": 21},
+    "fig2": {},
+    "fig3": {"trace": "reference"},
+    "fig4": {"trace": "reference", "seed": 33},
+}
+
+
+def experiment_scenario(
+    name: str, params: dict[str, Any] | None = None
+) -> Scenario:
+    """A scenario wrapping experiment module ``name``.
+
+    ``params`` defaults to the CI-sized :data:`SWEEP_PARAMS` entry;
+    trace-consuming configurations declare their trace as a shared-input
+    requirement so the runner pre-warms it before fanning out.
+    """
+    from repro.experiments import EXPERIMENTS
+
+    module = EXPERIMENTS[name]
+    params = dict(SWEEP_PARAMS[name] if params is None else params)
+    requires = (f"trace:{params['trace']}",) if "trace" in params else ()
+    return FunctionScenario(
+        name,
+        module.run_scenario,
+        params,
+        render_fn=module.render_scenario,
+        tags={"experiment"} | ({"trace"} if requires else set()),
+        requires=requires,
+        description=(module.__doc__ or "").strip().splitlines()[0],
+    )
+
+
+def paper_scenario(name: str) -> Scenario:
+    """The paper-fidelity variant of experiment ``name`` (not registered)."""
+    return experiment_scenario(name, PAPER_PARAMS[name])
+
+
+def _chaos_run(ctx: ScenarioContext) -> dict:
+    """One seeded chaos replay (+ lossy agent soak) as a scenario."""
+    from repro.resilience.chaos import ChaosConfig, run_chaos
+
+    p = ctx.params
+    config = ChaosConfig(
+        num_procs=p.get("num_procs", 8),
+        num_coarse_steps=p.get("steps", 48),
+        mtbf=p.get("mtbf", 300.0),
+        mttr=p.get("mttr", 40.0),
+        seeds=(p.get("seed", 0),),
+        loss_rate=p.get("loss_rate", 0.05),
+    )
+    return run_chaos(config)
+
+
+def _chaos_render(result: dict) -> str:
+    from repro.resilience.chaos import render_chaos
+
+    return render_chaos(result)
+
+
+def _ablation_sfc_curves(ctx: ScenarioContext) -> dict:
+    """Hilbert vs Morton partition quality on sampled snapshots."""
+    import numpy as np
+
+    from repro.partitioners import (
+        SPISPPartitioner,
+        build_units,
+        evaluate_partition,
+    )
+
+    trace = ctx.trace()
+    num_procs = ctx.params.get("num_procs", 16)
+    samples = ctx.params.get("samples", 8)
+    idxs = np.linspace(0, len(trace) - 1, samples).astype(int)
+    part = SPISPPartitioner()
+    out: dict[str, Any] = {}
+    for curve in ("hilbert", "morton"):
+        comm, imb = [], []
+        for k in idxs:
+            units = build_units(
+                trace[int(k)].hierarchy, granularity=2, curve=curve
+            )
+            m = evaluate_partition(part.partition(units, num_procs))
+            comm.append(m.comm_volume)
+            imb.append(m.load_imbalance_pct)
+        out[curve] = {
+            "mean_comm_volume": float(np.mean(comm)),
+            "mean_imbalance_pct": float(np.mean(imb)),
+        }
+    out["hilbert_comm_advantage_pct"] = 100.0 * (
+        1.0 - out["hilbert"]["mean_comm_volume"]
+        / out["morton"]["mean_comm_volume"]
+    )
+    return out
+
+
+def _ablation_sfc_render(result: dict) -> str:
+    lines = ["Ablation — SFC choice under SP-ISP"]
+    for curve in ("hilbert", "morton"):
+        d = result[curve]
+        lines.append(
+            f"  {curve:<8} comm={d['mean_comm_volume']:12.1f} "
+            f"imbalance={d['mean_imbalance_pct']:6.2f}%"
+        )
+    lines.append(
+        f"  hilbert comm advantage: "
+        f"{result['hilbert_comm_advantage_pct']:.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def _ablation_granularity(ctx: ScenarioContext) -> dict:
+    """Partition quality vs partitioning granularity on one snapshot."""
+    from repro.partitioners import (
+        SPISPPartitioner,
+        build_units,
+        evaluate_partition,
+    )
+
+    trace = ctx.trace()
+    num_procs = ctx.params.get("num_procs", 16)
+    hier = trace[len(trace) // 2].hierarchy
+    part = SPISPPartitioner()
+    out = {}
+    for g in ctx.params.get("granularities", (2, 4, 8)):
+        units = build_units(hier, granularity=int(g))
+        m = evaluate_partition(part.partition(units, num_procs))
+        out[str(g)] = {
+            "units": len(units),
+            "comm_volume": float(m.comm_volume),
+            "imbalance_pct": float(m.load_imbalance_pct),
+        }
+    return {"granularity": out}
+
+
+def _ablation_granularity_render(result: dict) -> str:
+    lines = ["Ablation — partitioning granularity under SP-ISP",
+             f"{'granularity':>12} {'units':>7} {'comm':>12} {'imb(%)':>8}"]
+    for g in sorted(result["granularity"], key=int):
+        d = result["granularity"][g]
+        lines.append(
+            f"{g:>12} {d['units']:>7} {d['comm_volume']:>12.1f} "
+            f"{d['imbalance_pct']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+_REGISTERED = False
+
+
+def ensure_registered() -> None:
+    """Populate the registry with the built-in set (idempotent)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+
+    from repro.experiments import EXPERIMENTS
+
+    for name in EXPERIMENTS:
+        register(experiment_scenario(name))
+
+    for seed in (0, 1):
+        register(FunctionScenario(
+            f"chaos-s{seed}",
+            _chaos_run,
+            {"num_procs": 8, "steps": 48, "seed": seed, "loss_rate": 0.05,
+             "mtbf": 300.0, "mttr": 40.0},
+            render_fn=_chaos_render,
+            tags={"chaos"},
+            description="Seeded Poisson failure replay + lossy agent soak",
+        ))
+
+    register(FunctionScenario(
+        "ablation-sfc-curves",
+        _ablation_sfc_curves,
+        {"trace": "small", "num_procs": 16, "samples": 8},
+        render_fn=_ablation_sfc_render,
+        tags={"ablation", "trace"},
+        requires=("trace:small",),
+        description="Hilbert vs Morton partition quality under SP-ISP",
+    ))
+    register(FunctionScenario(
+        "ablation-granularity",
+        _ablation_granularity,
+        {"trace": "small", "num_procs": 16, "granularities": [2, 4, 8]},
+        render_fn=_ablation_granularity_render,
+        tags={"ablation", "trace"},
+        requires=("trace:small",),
+        description="Partition quality vs partitioning granularity",
+    ))
+
+
+ensure_registered()
