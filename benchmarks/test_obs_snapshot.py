@@ -7,10 +7,14 @@ Two jobs:
    inside a collection window.  The disabled path must stay within noise;
    the enabled path is reported, not asserted (collection is allowed to
    cost something).
-2. Write a ``BENCH_obs.json`` perf snapshot — wall-clock, per-phase
-   simulated seconds, partitioner switching and message counters — so
-   every future perf PR has a machine-readable baseline to compare
-   against.
+2. Write a ``BENCH_obs.json`` perf snapshot — per-phase simulated
+   seconds with tail quantiles, timeline summary, anomaly alerts,
+   partitioner switching, message counters and sweep task-seconds
+   quantiles — the machine-readable baseline the ``python -m repro
+   benchdiff`` CI gate compares against.  Simulated-seconds sections are
+   machine-independent (the report runs under the deterministic
+   partitioner cost model); wall-clock sections live under keys the
+   gate's default ignore rules skip.
 """
 
 from __future__ import annotations
@@ -21,9 +25,14 @@ from pathlib import Path
 
 from repro import obs
 from repro.obs.report import collect_run_report, quickstart_scenario
+from repro.sweep import run_sweep
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SNAPSHOT_PATH = REPO_ROOT / "BENCH_obs.json"
+
+#: fast, trace-free scenarios the sweep section executes for the
+#: ``sweep.task_seconds`` histogram (a few observations for quantiles)
+SWEEP_SCENARIOS = ("fig1", "fig2", "table1", "table2")
 
 
 def _timed_adaptive_run():
@@ -34,7 +43,16 @@ def _timed_adaptive_run():
     return time.perf_counter() - t0
 
 
-def test_obs_overhead_and_snapshot():
+def _histograms_by_phase(doc: dict, name: str) -> dict:
+    rows = doc["metrics"]["histograms"].get(name, [])
+    out = {}
+    for row in rows:
+        key = row["labels"].get("phase", "all")
+        out[key] = row["value"]
+    return out
+
+
+def test_obs_overhead_and_snapshot(tmp_path):
     obs.disable()
     # Warm-up once (partitioner instance caches, numpy JIT-ish costs).
     _timed_adaptive_run()
@@ -47,6 +65,20 @@ def test_obs_overhead_and_snapshot():
     report_wall_s = time.perf_counter() - t0
     doc = report.to_dict()
 
+    # A small uncached sweep under its own window feeds the
+    # sweep.task_seconds histogram (wall-clock, so reported under an
+    # ignored key).
+    with obs.collect() as sweep_window:
+        for name in SWEEP_SCENARIOS:
+            result = run_sweep(
+                name, jobs=1, use_cache=False, cache_dir=tmp_path
+            )
+            assert result.ok and result.tasks
+    task_seconds = sweep_window.registry.histogram(
+        "sweep.task_seconds"
+    ).summary()
+
+    phase_hists = _histograms_by_phase(doc, "execsim.phase_seconds")
     snapshot = {
         "bench": "obs_snapshot",
         "scenario": doc["scenario"],
@@ -57,8 +89,15 @@ def test_obs_overhead_and_snapshot():
                 100.0 * (enabled_s - disabled_s) / disabled_s
             ),
             "full_report_s": report_wall_s,
+            "sweep_task_seconds": task_seconds,
         },
         "phases": doc["phases"],
+        "phase_histograms": phase_hists,
+        "imbalance_pct_histogram": _histograms_by_phase(
+            doc, "execsim.imbalance_pct"
+        ).get("all", {}),
+        "timeline": doc["timeline"],
+        "obs": {"alerts": doc["obs"]["alerts"]},
         "partitioning": {
             k: v for k, v in doc["partitioning"].items() if k != "usage"
         },
@@ -81,6 +120,16 @@ def test_obs_overhead_and_snapshot():
     assert doc["phases"]["compute"] > 0.0
     assert "switches" in doc["partitioning"]
     assert doc["message_center"]["sends"] >= 0.0
+    # Tail quantiles: per-phase simulated seconds and sweep task wall
+    # seconds both report p50/p95/p99.
+    for summary in phase_hists.values():
+        assert {"p50", "p95", "p99"} <= set(summary)
+    assert task_seconds["count"] == len(SWEEP_SCENARIOS)
+    assert task_seconds["p50"] <= task_seconds["p95"] <= task_seconds["p99"]
+    # Timeline + anomaly sections (the run-report acceptance criteria).
+    assert doc["timeline"]["num_samples"] > 0
+    assert "step_cost_s" in doc["timeline"]["series"]
+    assert isinstance(doc["obs"]["alerts"], list)
     # Even fully enabled, collection must not blow the run up (loose
     # bound: the <5% disabled-overhead criterion is checked against the
     # Table 4 bench by the driver; this guards the enabled path).

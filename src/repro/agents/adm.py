@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.agents.component_agent import ComponentAgent
 from repro.agents.message_center import MessageCenter
 from repro.agents.messages import Message
@@ -75,24 +76,28 @@ class ApplicationDelegatedManager:
         """Consolidate events and issue directives."""
         handled: set[str] = set()
         while (msg := self.message_center.receive(self.port_name)) is not None:
-            if msg.topic == "actuate-ack":
-                continue
-            if msg.topic == "node-failed":
-                # Failure-detector declaration: evacuate every component
-                # still placed on the dead node.
-                node = msg.payload.get("node")
-                for name, agent in self.agents.items():
-                    if agent.component.node_id == node and name not in handled:
-                        handled.add(name)
-                        self._direct_migration(t, name, dict(msg.payload))
-                continue
-            comp_name = msg.payload.get("component")
-            if comp_name is None or comp_name in handled:
-                continue
-            handled.add(comp_name)
-            scheme = self.select_scheme(msg.topic)
-            if scheme is ManagementScheme.MIGRATION:
-                self._direct_migration(t, comp_name, msg.payload)
+            with obs.handler_span("adm.handle", msg, topic=msg.topic):
+                self._handle(t, msg, handled)
+
+    def _handle(self, t: float, msg: Message, handled: set[str]) -> None:
+        if msg.topic == "actuate-ack":
+            return
+        if msg.topic == "node-failed":
+            # Failure-detector declaration: evacuate every component
+            # still placed on the dead node.
+            node = msg.payload.get("node")
+            for name, agent in self.agents.items():
+                if agent.component.node_id == node and name not in handled:
+                    handled.add(name)
+                    self._direct_migration(t, name, dict(msg.payload))
+            return
+        comp_name = msg.payload.get("component")
+        if comp_name is None or comp_name in handled:
+            return
+        handled.add(comp_name)
+        scheme = self.select_scheme(msg.topic)
+        if scheme is ManagementScheme.MIGRATION:
+            self._direct_migration(t, comp_name, msg.payload)
 
     def best_node(self, t: float, exclude: int) -> int:
         """Node with the highest (forecast) effective speed, not ``exclude``.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.agents.actuators import (
     CheckpointActuator,
     ComponentActuator,
@@ -113,19 +114,20 @@ class ComponentAgent:
     def _process_directives(self, t: float) -> None:
         while (msg := self.mc.receive(self.port.name)) is not None:
             if msg.topic == "actuate":
-                name = msg.payload["actuator"]
-                kwargs = dict(msg.payload.get("kwargs", {}))
-                ok = self.actuators[name].actuate(t, **kwargs)
-                self.actions_taken.append((t, name))
-                self.mc.send(
-                    Message(
-                        sender=self.port.name,
-                        dest=msg.sender,
-                        topic="actuate-ack",
-                        payload={"actuator": name, "ok": ok},
-                        time=t,
+                with obs.handler_span("ca.handle", msg, topic=msg.topic):
+                    name = msg.payload["actuator"]
+                    kwargs = dict(msg.payload.get("kwargs", {}))
+                    ok = self.actuators[name].actuate(t, **kwargs)
+                    self.actions_taken.append((t, name))
+                    self.mc.send(
+                        Message(
+                            sender=self.port.name,
+                            dest=msg.sender,
+                            topic="actuate-ack",
+                            payload={"actuator": name, "ok": ok},
+                            time=t,
+                        )
                     )
-                )
 
     def _periodic_checkpoint(self, t: float) -> None:
         if t - self._last_checkpoint >= self.checkpoint_period:

@@ -153,7 +153,24 @@ class MessageCenter:
         with a reason, and ``False`` is returned.  Sending never raises:
         the control network must survive a misaddressed message (e.g. a
         migration order for a component that just deregistered).
+
+        When tracing is enabled the send runs inside an ``mc.send`` span
+        and the message is stamped with a fresh causal flow id
+        (``trace_ctx``); the handler that later consumes the message
+        closes the flow, linking the two spans in trace exports.
         """
+        tracer = obs.get_tracer()
+        if not tracer.enabled:
+            return self._send_inner(message)
+        if message.trace_ctx is None:
+            # Message is frozen + slotted; the flow stamp is the one
+            # sanctioned mutation (publish pre-stamps fanout copies).
+            object.__setattr__(message, "trace_ctx", tracer.new_flow())
+        with tracer.span("mc.send", topic=message.topic, dest=message.dest):
+            tracer.flow_start(message.trace_ctx)
+            return self._send_inner(message)
+
+    def _send_inner(self, message: Message) -> bool:
         if message.dest not in self._ports:
             self._dead_letter(message, "unregistered-destination", attempts=0)
             return False
@@ -259,14 +276,15 @@ class MessageCenter:
         order for determinism.
         """
         count = 0
-        for dest in sorted(self._subscriptions.get(topic, ())):
-            if dest in self._ports:
-                delivered = self.send(
-                    Message(sender=sender, dest=dest, topic=topic,
-                            payload=payload, time=time)
-                )
-                if delivered:
-                    count += 1
+        with obs.span("mc.publish", topic=topic):
+            for dest in sorted(self._subscriptions.get(topic, ())):
+                if dest in self._ports:
+                    delivered = self.send(
+                        Message(sender=sender, dest=dest, topic=topic,
+                                payload=payload, time=time)
+                    )
+                    if delivered:
+                        count += 1
         obs.counter("mc.publishes").inc()
         obs.counter("mc.fanout", topic=topic).inc(count)
         return count

@@ -26,6 +26,9 @@ class Message:
     payload: Mapping[str, Any] = field(default_factory=dict)
     time: float = 0.0
     seq: int = field(default_factory=lambda: next(_sequence))
+    #: causal flow id stamped by the message center at send time (trace
+    #: viewers link the send span to the handler span through it)
+    trace_ctx: int | None = None
 
     def __post_init__(self) -> None:
         if not self.topic:

@@ -31,6 +31,20 @@ recovery invariant is violated::
     python -m repro chaos
     python -m repro chaos --json out.json   # BENCH_chaos.json document
 
+``trace`` — the traced quickstart run as Chrome trace-event JSON, loadable
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``::
+
+    python -m repro trace                        # trace JSON to stdout
+    python -m repro trace --json trace.json      # ... or to a file
+    python -m repro trace --timeline tl.jsonl    # also dump the timeline
+
+``benchdiff`` — the bench regression gate: compare a current
+``BENCH_*.json`` against a committed baseline and exit non-zero on
+regression (:mod:`repro.obs.benchdiff`)::
+
+    python -m repro benchdiff BENCH_obs.json /tmp/BENCH_obs.json
+    python -m repro benchdiff base.json cur.json --rel-tol 0.05 --json -
+
 The heavyweight experiments (table3/4/5, fig3/4) consume the reference
 RM3D trace, generated once (~30 s) and cached under ``.cache/``; the
 sweep uses the reduced CI-sized trace and caches results
@@ -47,7 +61,7 @@ from repro.experiments import EXPERIMENTS
 
 #: the subcommand verbs; anything else in argv[0] is a legacy experiment
 #: spelling and is rewritten to ``run <argv...>``
-VERBS = ("run", "sweep", "report", "chaos")
+VERBS = ("run", "sweep", "report", "chaos", "trace", "benchdiff")
 
 
 def _emit(document, json_arg) -> None:
@@ -190,6 +204,39 @@ def chaos_main(args: argparse.Namespace) -> int:
     return 0 if result["aggregate"]["all_invariants_hold"] else 1
 
 
+def trace_main(args: argparse.Namespace) -> int:
+    """The ``trace`` verb: traced quickstart -> Chrome trace-event JSON."""
+    from repro.obs.chrome import collect_trace
+
+    print("running the traced quickstart scenario ...", file=sys.stderr)
+    doc = collect_trace(
+        num_coarse_steps=args.steps,
+        online_steps=args.online_steps,
+        timeline_jsonl=args.timeline,
+    )
+    _emit(doc, args.json if args.json is not None else "-")
+    if args.timeline is not None:
+        print(f"wrote {args.timeline}", file=sys.stderr)
+    return 0
+
+
+def benchdiff_main(args: argparse.Namespace) -> int:
+    """The ``benchdiff`` verb: bench regression gate over two documents."""
+    from repro.obs.benchdiff import diff_files
+
+    diff = diff_files(
+        args.baseline,
+        args.current,
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+    )
+    if args.json is None:
+        print(diff.render())
+    else:
+        _emit(diff.to_dict(), args.json)
+    return 0 if diff.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The single subcommand parser behind ``python -m repro``."""
     json_parent, seed_parent = _shared_parents()
@@ -315,6 +362,51 @@ def build_parser() -> argparse.ArgumentParser:
         "0 skips the soak)",
     )
     p_chaos.set_defaults(func=chaos_main)
+
+    p_trace = sub.add_parser(
+        "trace",
+        parents=[json_parent],
+        help="traced quickstart run as Chrome trace-event JSON",
+        description="Run a reduced quickstart scenario under causal "
+        "tracing and emit Chrome trace-event JSON (Perfetto-loadable): "
+        "spans as complete events, message sends linked to their handlers "
+        "via flow arrows.",
+    )
+    p_trace.add_argument(
+        "--steps", type=int, default=48,
+        help="coarse steps for the trace-replay run (default 48)",
+    )
+    p_trace.add_argument(
+        "--online-steps", type=int, default=24,
+        help="coarse steps for the event-driven online run (default 24; "
+        "0 disables it)",
+    )
+    p_trace.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="also write the collection window's timeline as JSONL",
+    )
+    p_trace.set_defaults(func=trace_main)
+
+    p_diff = sub.add_parser(
+        "benchdiff",
+        parents=[json_parent],
+        help="bench regression gate: compare two BENCH_*.json documents",
+        description="Flatten two bench documents to dotted-path leaves "
+        "and compare numeric leaves within per-metric tolerances; "
+        "wall-clock-like metrics are ignored.  Exits 1 on regression or "
+        "on metrics missing from the current document.",
+    )
+    p_diff.add_argument("baseline", help="committed baseline JSON document")
+    p_diff.add_argument("current", help="freshly generated JSON document")
+    p_diff.add_argument(
+        "--rel-tol", type=float, default=0.01,
+        help="default relative tolerance per numeric leaf (default 0.01)",
+    )
+    p_diff.add_argument(
+        "--abs-tol", type=float, default=1e-6,
+        help="absolute tolerance floor for near-zero leaves (default 1e-6)",
+    )
+    p_diff.set_defaults(func=benchdiff_main)
     return parser
 
 
@@ -340,6 +432,18 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.verb == "sweep" and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.verb == "trace":
+        if args.steps < 1:
+            parser.error(f"--steps must be >= 1, got {args.steps}")
+        if args.online_steps < 0:
+            parser.error(
+                f"--online-steps must be >= 0, got {args.online_steps}"
+            )
+    if args.verb == "benchdiff":
+        if args.rel_tol < 0:
+            parser.error(f"--rel-tol must be >= 0, got {args.rel_tol}")
+        if args.abs_tol < 0:
+            parser.error(f"--abs-tol must be >= 0, got {args.abs_tol}")
     try:
         return args.func(args)
     except ValueError as exc:

@@ -65,6 +65,16 @@ class MetaPartitioner(PartitionerSelector):
         decision = self._apply_hysteresis(octant, decision)
         if self.selections and decision.label != self.selections[-1][2]:
             obs.counter("meta.switches").inc()
+            tl = obs.get_timeline()
+            if tl.enabled:
+                tl.event(
+                    "partitioner-switch",
+                    t=float(snapshot.step),
+                    step=snapshot.step,
+                    octant=decision.octant or octant.value,
+                    from_partitioner=self.selections[-1][2],
+                    to_partitioner=decision.label,
+                )
         self.selections.append(
             (snapshot.step, decision.octant or octant.value, decision.label)
         )

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import obs
 from repro.amr.trace import AdaptationTrace
+from repro.obs.timeline import StepSample
 from repro.execsim.costmodel import CostModel
 from repro.execsim.selector import PartitionerSelector, SelectorDecision
 from repro.gridsys.cluster import Cluster
@@ -323,6 +324,7 @@ class ExecutionSimulator:
         result = RunResult(proc_work=np.zeros(self.num_procs))
         prev_partition: Partition | None = None
         sim_time = 0.0
+        prev_step_cost: float | None = None
 
         with obs.span("execsim.run", snapshots=len(trace)):
             for idx, snap in enumerate(trace):
@@ -332,6 +334,7 @@ class ExecutionSimulator:
                 coarse_steps = max(next_step - snap.step, 0)
                 if coarse_steps == 0:
                     continue
+                interval_t0 = sim_time
                 previous_snap = trace[idx - 1] if idx > 0 else None
                 decision = selector.decide(snap, previous_snap)
                 label = decision.label or decision.partitioner.name
@@ -414,6 +417,64 @@ class ExecutionSimulator:
                 obs.counter("execsim.intervals", partitioner=label).inc()
                 obs.counter("execsim.coarse_steps").inc(coarse_steps)
                 obs.histogram("execsim.imbalance_pct").observe(imbalance)
+                for phase, secs in (
+                    ("compute", comp_t),
+                    ("comm", comm_t),
+                    ("regrid", regrid_t),
+                    ("checkpoint", checkpoint_t),
+                    ("recovery", recovery_t),
+                ):
+                    obs.histogram(
+                        "execsim.phase_seconds", phase=phase
+                    ).observe(secs)
+
+                # Last-value forecast of per-coarse-step cost: the simplest
+                # predictor the NWS ensemble carries, evaluated against the
+                # interval that just committed.
+                step_cost = (
+                    comp_t + comm_t + regrid_t + checkpoint_t + recovery_t
+                ) / coarse_steps
+                forecast_error: float | None = None
+                if prev_step_cost is not None and step_cost > 0:
+                    forecast_error = (
+                        100.0 * abs(prev_step_cost - step_cost) / step_cost
+                    )
+                prev_step_cost = step_cost
+
+                tl = obs.get_timeline()
+                if tl.enabled:
+                    if checkpoint_t > 0.0:
+                        tl.event(
+                            "checkpoint", t=interval_t0, step=snap.step,
+                            seconds=checkpoint_t,
+                        )
+                    for rec in recs:
+                        tl.event(
+                            "recovery", t=rec.t_detected, step=snap.step,
+                            failed_nodes=[int(p) for p in rec.failed_nodes],
+                            detection_lag_s=rec.detection_lag,
+                            steps_lost=rec.steps_lost,
+                        )
+                    tl.record(
+                        StepSample(
+                            step=snap.step,
+                            t=interval_t0,
+                            coarse_steps=coarse_steps,
+                            partitioner=label,
+                            octant=decision.octant,
+                            compute_s=comp_t,
+                            comm_s=comm_t,
+                            regrid_s=regrid_t,
+                            checkpoint_s=checkpoint_t,
+                            recovery_s=recovery_t,
+                            imbalance_pct=imbalance,
+                            forecast_error_pct=forecast_error,
+                            recoveries=len(recs),
+                            live_procs=(
+                                len(live) if resilient else self.num_procs
+                            ),
+                        )
+                    )
 
                 result.records.append(
                     StepRecord(

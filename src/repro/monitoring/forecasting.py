@@ -259,9 +259,18 @@ class ForecasterEnsemble:
         self._n = 0
         self._last_best: int | None = None
 
-    def update(self, value: float) -> None:
-        """Score standing forecasts against ``value``, then absorb it."""
+    def update(self, value: float) -> float | None:
+        """Score standing forecasts against ``value``, then absorb it.
+
+        Returns the standing best predictor's absolute postcast error —
+        how far the ensemble's own forecast of this value was off — when
+        observability is enabled and the ensemble had history to forecast
+        from; ``None`` otherwise (the disabled path skips the argmin).
+        """
         v = float(value)
+        err_best: float | None = None
+        if self._n > 0 and obs.enabled():
+            err_best = abs(self.predictors[self.best_index].predict() - v)
         if self._n > 0:
             for i, p in enumerate(self.predictors):
                 e = abs(p.predict() - v)
@@ -274,6 +283,8 @@ class ForecasterEnsemble:
             # Predictor-selection churn: how often the postcast winner
             # changes.  Gated so the disabled path skips the argmin.
             obs.counter("forecast.updates").inc()
+            if err_best is not None:
+                obs.histogram("forecast.abs_error").observe(err_best)
             best = self.best_index
             if self._last_best is not None and best != self._last_best:
                 obs.counter(
@@ -281,6 +292,7 @@ class ForecasterEnsemble:
                     predictor=self.predictors[best].name,
                 ).inc()
             self._last_best = best
+        return err_best
 
     @property
     def best_index(self) -> int:

@@ -78,13 +78,32 @@ class ResourceMonitor:
                 i += 1
 
     def sample(self, t: float) -> None:
-        """Measure every (node, attribute) at simulation time ``t``."""
+        """Measure every (node, attribute) at simulation time ``t``.
+
+        With observability enabled the sweep also aggregates the
+        forecaster ensembles' own postcast errors on the CPU streams —
+        how far the monitor's forecasts of this sweep's values were off —
+        into the ``monitor.forecast_abs_error`` histogram and a
+        ``forecast-sweep`` timeline event.
+        """
+        cpu_errors: list[float] = []
         for key, sensor in self._sensors.items():
             v = sensor.measure(t)
             self._streams[key].append(t, v)
-            self._forecasters[key].update(v)
+            err = self._forecasters[key].update(v)
+            if err is not None and key[1] == "cpu":
+                cpu_errors.append(err)
         obs.counter("monitor.samples").inc(len(self._sensors))
         obs.counter("monitor.sweeps").inc()
+        if cpu_errors:
+            mean_err = sum(cpu_errors) / len(cpu_errors)
+            obs.histogram("monitor.forecast_abs_error").observe(mean_err)
+            tl = obs.get_timeline()
+            if tl.enabled:
+                tl.event(
+                    "forecast-sweep", t=t, mean_cpu_abs_error=mean_err,
+                    nodes=len(cpu_errors),
+                )
 
     def sample_range(self, t0: float, t1: float, period: float = 1.0) -> None:
         """Sample periodically over [t0, t1) with the given period."""

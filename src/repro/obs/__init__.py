@@ -2,11 +2,12 @@
 
 The paper argues runtime management must be measurement-driven; this
 package turns the same lens on the reproduction itself.  It holds one
-process-local :class:`~repro.obs.metrics.MetricsRegistry` and one
-:class:`~repro.obs.tracing.Tracer`, both defaulting to zero-cost null
-implementations so instrumented hot paths (the execution simulator, the
-meta-partitioner, the CATALINA message center, the resource monitor) pay
-nothing unless a collection window is open.
+process-local :class:`~repro.obs.metrics.MetricsRegistry`, one
+:class:`~repro.obs.tracing.Tracer` and one
+:class:`~repro.obs.timeline.TimelineRecorder`, all defaulting to
+zero-cost null implementations so instrumented hot paths (the execution
+simulator, the meta-partitioner, the CATALINA message center, the
+resource monitor) pay nothing unless a collection window is open.
 
 Usage::
 
@@ -16,15 +17,27 @@ Usage::
         report = runtime.run_adaptive(trace)
     window.registry.counter_value("execsim.intervals")
     window.tracer.totals_by_path()
+    window.timeline.summary()
 
 or imperatively with :func:`enable` / :func:`disable`.  Instrumented call
 sites go through the module-level helpers (:func:`counter`, :func:`gauge`,
-:func:`histogram`, :func:`span`), which dispatch to whatever registry and
-tracer are currently installed.
+:func:`histogram`, :func:`span`, :func:`handler_span`,
+:func:`get_timeline`), which dispatch to whatever registry, tracer and
+timeline are currently installed.
 """
 
 from __future__ import annotations
 
+from repro.obs.anomaly import Alert, EwmaDetector, detect_alerts, detect_series
+from repro.obs.benchdiff import (
+    BenchDiff,
+    LeafDiff,
+    ToleranceRule,
+    diff_documents,
+    diff_files,
+    flatten_document,
+)
+from repro.obs.chrome import chrome_trace_events, collect_trace
 from repro.obs.export import export_json, export_jsonl, observability_snapshot
 from repro.obs.metrics import (
     Counter,
@@ -33,7 +46,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
-from repro.obs.tracing import NullTracer, SpanRecord, Tracer
+from repro.obs.timeline import NullTimeline, StepSample, TimelineRecorder
+from repro.obs.tracing import FlowRecord, NullTracer, SpanRecord, Tracer
 
 __all__ = [
     "Counter",
@@ -44,10 +58,28 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "SpanRecord",
+    "FlowRecord",
+    "StepSample",
+    "TimelineRecorder",
+    "NullTimeline",
+    "Alert",
+    "EwmaDetector",
+    "detect_series",
+    "detect_alerts",
+    "BenchDiff",
+    "LeafDiff",
+    "ToleranceRule",
+    "flatten_document",
+    "diff_documents",
+    "diff_files",
+    "chrome_trace_events",
+    "collect_trace",
     "get_registry",
     "get_tracer",
+    "get_timeline",
     "set_registry",
     "set_tracer",
+    "set_timeline",
     "enabled",
     "enable",
     "disable",
@@ -56,6 +88,7 @@ __all__ = [
     "gauge",
     "histogram",
     "span",
+    "handler_span",
     "export_json",
     "export_jsonl",
     "observability_snapshot",
@@ -63,9 +96,11 @@ __all__ = [
 
 _NULL_REGISTRY = NullRegistry()
 _NULL_TRACER = NullTracer()
+_NULL_TIMELINE = NullTimeline()
 
 _registry: MetricsRegistry = _NULL_REGISTRY
 _tracer: Tracer = _NULL_TRACER
+_timeline: TimelineRecorder = _NULL_TIMELINE
 
 
 def get_registry() -> MetricsRegistry:
@@ -76,6 +111,11 @@ def get_registry() -> MetricsRegistry:
 def get_tracer() -> Tracer:
     """The currently installed tracer (null when disabled)."""
     return _tracer
+
+
+def get_timeline() -> TimelineRecorder:
+    """The currently installed timeline recorder (null when disabled)."""
+    return _timeline
 
 
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
@@ -92,50 +132,66 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return tracer
 
 
+def set_timeline(timeline: TimelineRecorder) -> TimelineRecorder:
+    """Install ``timeline`` as the process-wide recorder; returns it."""
+    global _timeline
+    _timeline = timeline
+    return timeline
+
+
 def enabled() -> bool:
     """True when a real (non-null) registry is installed."""
     return _registry.enabled
 
 
 def enable() -> tuple[MetricsRegistry, Tracer]:
-    """Install a fresh real registry + tracer; returns both."""
+    """Install a fresh real registry, tracer and timeline.
+
+    Returns the registry/tracer pair (the historical signature); fetch
+    the timeline with :func:`get_timeline` when you need it.
+    """
+    set_timeline(TimelineRecorder())
     return set_registry(MetricsRegistry()), set_tracer(Tracer())
 
 
 def disable() -> None:
-    """Restore the zero-cost null registry and tracer."""
-    global _registry, _tracer
+    """Restore the zero-cost null registry, tracer and timeline."""
+    global _registry, _tracer, _timeline
     _registry = _NULL_REGISTRY
     _tracer = _NULL_TRACER
+    _timeline = _NULL_TIMELINE
 
 
 class _CollectionWindow:
-    """Scoped enable/disable; exposes the registry and tracer it owned."""
+    """Scoped enable/disable; exposes the registry/tracer/timeline it owned."""
 
-    __slots__ = ("registry", "tracer", "_prev")
+    __slots__ = ("registry", "tracer", "timeline", "_prev")
 
     def __init__(self) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.timeline = TimelineRecorder()
 
     def __enter__(self) -> _CollectionWindow:
-        self._prev = (_registry, _tracer)
+        self._prev = (_registry, _tracer, _timeline)
         set_registry(self.registry)
         set_tracer(self.tracer)
+        set_timeline(self.timeline)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        prev_registry, prev_tracer = self._prev
+        prev_registry, prev_tracer, prev_timeline = self._prev
         set_registry(prev_registry)
         set_tracer(prev_tracer)
+        set_timeline(prev_timeline)
 
 
 def collect() -> _CollectionWindow:
     """Context manager opening a fresh collection window.
 
-    On exit the previously installed registry/tracer (usually the null
-    defaults) are restored; the window keeps its ``registry`` and
-    ``tracer`` for inspection and export.
+    On exit the previously installed registry/tracer/timeline (usually
+    the null defaults) are restored; the window keeps its ``registry``,
+    ``tracer`` and ``timeline`` for inspection and export.
     """
     return _CollectionWindow()
 
@@ -161,3 +217,17 @@ def histogram(name: str, **labels: object) -> Histogram:
 def span(name: str, **attrs: object):
     """Span context manager from the installed tracer (no-op when disabled)."""
     return _tracer.span(name, **attrs)
+
+
+def handler_span(name: str, message, **attrs: object):
+    """Span for handling ``message``, consuming its causal flow context.
+
+    ``message`` is anything with an optional ``trace_ctx`` attribute (a
+    flow id stamped by the message center at send time); when present,
+    the tracer records the flow's receiving endpoint inside the handler
+    slice, so trace viewers draw the send → handle arrow.  No-op when
+    tracing is disabled.
+    """
+    return _tracer.handler_span(
+        name, getattr(message, "trace_ctx", None), **attrs
+    )

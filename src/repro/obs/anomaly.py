@@ -1,0 +1,168 @@
+"""EWMA z-score anomaly detection over timeline series.
+
+The paper's runtime management reacts to drift in measured behaviour; the
+reproduction surfaces that drift to humans the same way.  An
+:class:`EwmaDetector` keeps exponentially-weighted estimates of a
+series' mean and variance; each new value is scored against the
+*standing* estimates (before absorbing the value), and a z-score beyond
+the threshold raises an :class:`Alert`.  :func:`detect_alerts` sweeps the
+standard :class:`~repro.obs.timeline.TimelineRecorder` series and returns
+the alerts run reports publish under ``obs.alerts``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Alert", "EwmaDetector", "detect_series", "detect_alerts"]
+
+#: timeline series scanned by default, most diagnostic first
+DEFAULT_SERIES = (
+    "step_cost_s",
+    "imbalance_pct",
+    "recovery_s",
+    "forecast_error_pct",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Alert:
+    """One anomalous observation in a monitored series."""
+
+    series: str
+    #: index of the observation within its series
+    index: int
+    value: float
+    #: standardized deviation from the EWMA mean at arrival time
+    zscore: float
+    #: EWMA mean the value was scored against
+    mean: float
+    #: EWMA standard deviation the value was scored against
+    std: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "series": self.series,
+            "index": self.index,
+            "value": self.value,
+            "zscore": self.zscore,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+class EwmaDetector:
+    """Streaming EWMA mean/variance with z-score flagging.
+
+    ``alpha`` is the EWMA smoothing weight of the newest value;
+    ``z_threshold`` the flagging bar; ``warmup`` the number of leading
+    observations absorbed without scoring (the estimates need history
+    before a z-score means anything).  ``min_std`` floors the standard
+    deviation so a perfectly flat warmup cannot turn numeric dust into
+    infinite z-scores.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        z_threshold: float = 3.0,
+        warmup: int = 5,
+        min_std: float = 1e-9,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if z_threshold <= 0:
+            raise ValueError(f"z_threshold must be > 0, got {z_threshold}")
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1, got {warmup}")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.min_std = min_std
+        self._mean = 0.0
+        self._var = 0.0
+        self._n = 0
+
+    @property
+    def mean(self) -> float:
+        """Current EWMA mean estimate."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Current EWMA standard deviation estimate (floored)."""
+        return max(math.sqrt(self._var), self.min_std)
+
+    def update(self, value: float) -> float | None:
+        """Score ``value`` against the standing estimates, then absorb it.
+
+        Returns the z-score when it breaches the threshold (an anomaly),
+        otherwise ``None``.  Warmup observations are absorbed silently.
+        The EWMA state absorbs *relative* scale: anomalous values still
+        move the estimates, so a sustained level shift stops alerting
+        once the estimates catch up — alerts mark transitions, not
+        steady states.
+        """
+        v = float(value)
+        z = None
+        if self._n >= self.warmup:
+            score = (v - self._mean) / self.std
+            if abs(score) >= self.z_threshold:
+                z = score
+        delta = v - self._mean
+        self._mean += self.alpha * delta
+        # West-style EWMA variance update.
+        self._var = (1.0 - self.alpha) * (self._var + self.alpha * delta**2)
+        self._n += 1
+        return z
+
+
+def detect_series(
+    name: str,
+    values: list[float],
+    *,
+    alpha: float = 0.3,
+    z_threshold: float = 3.0,
+    warmup: int = 5,
+) -> list[Alert]:
+    """Scan one series; returns the alerts in order of occurrence."""
+    det = EwmaDetector(alpha=alpha, z_threshold=z_threshold, warmup=warmup)
+    alerts = []
+    for i, v in enumerate(values):
+        mean, std = det.mean, det.std
+        z = det.update(v)
+        if z is not None:
+            alerts.append(
+                Alert(series=name, index=i, value=float(v), zscore=z,
+                      mean=mean, std=std)
+            )
+    return alerts
+
+
+def detect_alerts(
+    timeline,
+    *,
+    series: tuple[str, ...] = DEFAULT_SERIES,
+    alpha: float = 0.3,
+    z_threshold: float = 3.0,
+    warmup: int = 5,
+) -> list[Alert]:
+    """Scan a timeline's standard series; returns all alerts.
+
+    ``timeline`` is a :class:`~repro.obs.timeline.TimelineRecorder`;
+    series with too few points to leave warmup produce no alerts.
+    """
+    alerts: list[Alert] = []
+    for name in series:
+        alerts.extend(
+            detect_series(
+                name,
+                timeline.series(name),
+                alpha=alpha,
+                z_threshold=z_threshold,
+                warmup=warmup,
+            )
+        )
+    return alerts

@@ -1,0 +1,274 @@
+"""Bench regression gate: compare two ``BENCH_*.json`` documents.
+
+``python -m repro benchdiff BASELINE.json CURRENT.json`` flattens both
+documents to dotted-path leaves, matches numeric leaves within a
+per-metric tolerance, and exits non-zero when any leaf regressed — the
+CI gate that finally makes the committed bench baselines bite.
+
+Tolerances are resolved per leaf by first-match over glob rules
+(:class:`ToleranceRule`): wall-clock-like metrics are ignored by default
+(they measure the machine, not the code), everything else must agree
+within a relative tolerance.  A leaf present in the baseline but missing
+from the current document fails (a metric silently disappeared); leaves
+new in the current document are reported but pass (benches accumulate
+metrics over time).  Both drifts — regressions *and* improbable
+improvements — fail the gate: either way the committed baseline no
+longer describes the code, and should be regenerated deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+__all__ = [
+    "ToleranceRule",
+    "DEFAULT_IGNORES",
+    "LeafDiff",
+    "BenchDiff",
+    "flatten_document",
+    "diff_documents",
+    "diff_files",
+]
+
+#: dotted-path globs ignored by default: wall-clock and cache timings
+#: measure the host, not the code under test
+DEFAULT_IGNORES = (
+    "*wall*",
+    "*overhead_pct*",
+    "*speedup*",
+    "*warm_fraction*",
+    "*duration_s*",
+    "span_totals_by_path*",
+    "*.start_s",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ToleranceRule:
+    """One per-metric tolerance: glob over the dotted leaf path.
+
+    ``rel`` of ``None`` means the matching leaves are ignored entirely.
+    """
+
+    pattern: str
+    rel: float | None
+    abs: float = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class LeafDiff:
+    """Comparison outcome for one dotted-path leaf."""
+
+    path: str
+    #: "ok", "ignored", "regression", "missing", or "added"
+    status: str
+    base: object = None
+    current: object = None
+    #: relative change (current - base) / |base| for numeric leaves
+    rel_change: float | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "status": self.status,
+            "base": self.base,
+            "current": self.current,
+            "rel_change": self.rel_change,
+        }
+
+
+@dataclass(slots=True)
+class BenchDiff:
+    """Outcome of one baseline/current comparison."""
+
+    leaves: list[LeafDiff] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[LeafDiff]:
+        """Leaves that fail the gate (regressions + missing metrics)."""
+        return [d for d in self.leaves
+                if d.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        """True when no leaf regressed or disappeared."""
+        return not self.failures
+
+    def counts(self) -> dict[str, int]:
+        """Leaf count per status."""
+        out: dict[str, int] = {}
+        for d in self.leaves:
+            out[d.status] = out.get(d.status, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        """The comparison as a JSON-ready document."""
+        return {
+            "bench": "benchdiff",
+            "ok": self.ok,
+            "counts": self.counts(),
+            "failures": [d.as_dict() for d in self.failures],
+            "added": [d.path for d in self.leaves if d.status == "added"],
+        }
+
+    def render(self) -> str:
+        """Human-readable text rendering (the CLI's default output)."""
+        c = self.counts()
+        lines = ["== bench regression gate =="]
+        lines.append(
+            "compared {ok} ok | {ignored} ignored | {added} added | "
+            "{regression} regressed | {missing} missing".format(
+                ok=c.get("ok", 0), ignored=c.get("ignored", 0),
+                added=c.get("added", 0), regression=c.get("regression", 0),
+                missing=c.get("missing", 0),
+            )
+        )
+        for d in self.failures:
+            if d.status == "missing":
+                lines.append(f"  MISSING    {d.path}  (baseline {d.base!r})")
+            else:
+                pct = (
+                    f"{100.0 * d.rel_change:+.2f}%"
+                    if d.rel_change is not None
+                    else "non-numeric"
+                )
+                lines.append(
+                    f"  REGRESSION {d.path}  {d.base!r} -> {d.current!r} "
+                    f"({pct})"
+                )
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def flatten_document(doc: object, prefix: str = "") -> dict[str, object]:
+    """Flatten nested dicts/lists to dotted-path leaves.
+
+    List elements get numeric path segments (``tasks.0.name``), so two
+    documents of the same shape flatten to comparable key sets.
+    """
+    out: dict[str, object] = {}
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten_document(v, key))
+    elif isinstance(doc, (list, tuple)):
+        for i, v in enumerate(doc):
+            key = f"{prefix}.{i}" if prefix else str(i)
+            out.update(flatten_document(v, key))
+    else:
+        out[prefix] = doc
+    return out
+
+
+def _build_rules(
+    tolerances: dict[str, float] | None,
+    ignores: tuple[str, ...],
+    default_rel: float,
+    default_abs: float,
+) -> list[ToleranceRule]:
+    rules = [ToleranceRule(p, None) for p in ignores]
+    for pattern, rel in (tolerances or {}).items():
+        rules.append(ToleranceRule(pattern, rel, default_abs))
+    rules.append(ToleranceRule("*", default_rel, default_abs))
+    return rules
+
+
+def _match_rule(rules: list[ToleranceRule], path: str) -> ToleranceRule:
+    for rule in rules:
+        if fnmatchcase(path, rule.pattern):
+            return rule
+    return rules[-1]
+
+
+def _numbers(a: object, b: object) -> bool:
+    return (
+        isinstance(a, (int, float)) and not isinstance(a, bool)
+        and isinstance(b, (int, float)) and not isinstance(b, bool)
+    )
+
+
+def diff_documents(
+    baseline: dict,
+    current: dict,
+    *,
+    rel_tol: float = 0.01,
+    abs_tol: float = 1e-6,
+    tolerances: dict[str, float] | None = None,
+    ignores: tuple[str, ...] = DEFAULT_IGNORES,
+) -> BenchDiff:
+    """Compare two bench documents; returns the leaf-by-leaf verdicts.
+
+    ``tolerances`` maps dotted-path globs to relative tolerances
+    overriding ``rel_tol``; ``ignores`` are globs skipped entirely
+    (matched before tolerances).  Non-numeric leaves must be equal.
+    """
+    base_flat = flatten_document(baseline)
+    cur_flat = flatten_document(current)
+    rules = _build_rules(tolerances, ignores, rel_tol, abs_tol)
+    diff = BenchDiff()
+
+    for path in sorted(base_flat):
+        base_v = base_flat[path]
+        rule = _match_rule(rules, path)
+        if rule.rel is None:
+            diff.leaves.append(
+                LeafDiff(path=path, status="ignored", base=base_v,
+                         current=cur_flat.get(path))
+            )
+            continue
+        if path not in cur_flat:
+            diff.leaves.append(
+                LeafDiff(path=path, status="missing", base=base_v)
+            )
+            continue
+        cur_v = cur_flat[path]
+        if _numbers(base_v, cur_v):
+            close = math.isclose(
+                float(cur_v), float(base_v),
+                rel_tol=rule.rel, abs_tol=rule.abs,
+            )
+            rel_change = (
+                (float(cur_v) - float(base_v)) / abs(float(base_v))
+                if base_v else None
+            )
+            diff.leaves.append(
+                LeafDiff(
+                    path=path,
+                    status="ok" if close else "regression",
+                    base=base_v,
+                    current=cur_v,
+                    rel_change=rel_change,
+                )
+            )
+        else:
+            diff.leaves.append(
+                LeafDiff(
+                    path=path,
+                    status="ok" if base_v == cur_v else "regression",
+                    base=base_v,
+                    current=cur_v,
+                )
+            )
+    for path in sorted(set(cur_flat) - set(base_flat)):
+        diff.leaves.append(
+            LeafDiff(path=path, status="added", current=cur_flat[path])
+        )
+    return diff
+
+
+def diff_files(
+    baseline: str | Path,
+    current: str | Path,
+    **kwargs: object,
+) -> BenchDiff:
+    """:func:`diff_documents` over two JSON files."""
+    with Path(baseline).open(encoding="utf-8") as fh:
+        base_doc = json.load(fh)
+    with Path(current).open(encoding="utf-8") as fh:
+        cur_doc = json.load(fh)
+    return diff_documents(base_doc, cur_doc, **kwargs)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import threading
+from bisect import bisect_left
 
 __all__ = [
     "Counter",
@@ -24,7 +25,31 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
+    "exponential_bucket_bounds",
 ]
+
+
+def exponential_bucket_bounds(
+    start: float = 1e-6, factor: float = 2.0, count: int = 48
+) -> tuple[float, ...]:
+    """Fixed exponential bucket upper bounds: ``start * factor**k``.
+
+    The defaults span 1 µs to ~1.4e8 (seconds or percent alike) in
+    power-of-two steps — coarse, but allocation-free at observe time and
+    tight enough for p50/p95/p99 tail reporting.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError(
+            f"need start > 0, factor > 1, count >= 1; got "
+            f"{start}, {factor}, {count}"
+        )
+    return tuple(start * factor**k for k in range(count))
+
+
+#: the bucket layout every histogram shares (values above the last bound
+#: land in one overflow bucket)
+DEFAULT_BUCKET_BOUNDS = exponential_bucket_bounds()
 
 #: a label set frozen into a dictionary key
 _LabelKey = tuple[tuple[str, str], ...]
@@ -88,19 +113,32 @@ class Gauge:
 class Histogram:
     """Streaming summary of an observed distribution.
 
-    Keeps count/sum/min/max — enough for the run reports without storing
-    samples.  ``mean`` is derived.
+    Keeps count/sum/min/max plus fixed exponential bucket counts
+    (:data:`DEFAULT_BUCKET_BOUNDS`), so tails are reportable without
+    storing samples: ``quantile(q)`` answers from the buckets, and
+    ``summary()`` carries p50/p95/p99 alongside the moments.  Bucketed
+    quantiles are upper-bound estimates — exact to within one bucket
+    (a factor-of-two band), clamped into ``[min, max]``.
     """
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max")
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "bounds", "buckets")
 
-    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelKey = (),
+        bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+    ) -> None:
         self.name = name
         self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.bounds = bounds
+        # one count per bound plus one overflow bucket
+        self.buckets = [0] * (len(bounds) + 1)
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -111,23 +149,49 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        self.buckets[bisect_left(self.bounds, v)] += 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples seen so far (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucketed quantile estimate (0.0 when empty).
+
+        Returns the upper bound of the bucket holding the ``q``-th sample,
+        clamped into ``[min, max]`` so the estimate never leaves the
+        observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            cum += n
+            if cum >= target and n:
+                bound = (
+                    self.bounds[i] if i < len(self.bounds) else self.max
+                )
+                return min(max(bound, self.min), self.max)
+        return self.max
+
     def summary(self) -> dict[str, float]:
-        """count/sum/min/max/mean as a plain dict (empty-safe)."""
+        """count/sum/min/max/mean/p50/p95/p99 as a plain dict (empty-safe)."""
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -239,8 +303,12 @@ class _NullInstrument:
     def mean(self) -> float:
         return 0.0
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def summary(self) -> dict[str, float]:
-        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 _NULL_INSTRUMENT = _NullInstrument()

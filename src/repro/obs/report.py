@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.obs.anomaly import detect_alerts
 
 __all__ = ["RunReport", "collect_run_report", "quickstart_scenario"]
 
@@ -35,6 +36,10 @@ class RunReport:
     monitoring: dict
     runtimes: dict
     metrics: dict
+    #: :meth:`TimelineRecorder.summary` of the collection window
+    timeline: dict
+    #: EWMA z-score anomalies over the timeline series (``obs.alerts``)
+    alerts: list
 
     def to_dict(self) -> dict:
         """The full report as a JSON-ready document."""
@@ -47,6 +52,8 @@ class RunReport:
             "monitoring": self.monitoring,
             "runtimes": self.runtimes,
             "metrics": self.metrics,
+            "timeline": self.timeline,
+            "obs": {"alerts": self.alerts},
         }
 
     def render(self) -> str:
@@ -102,6 +109,27 @@ class RunReport:
             f"  improvement over worst static: "
             f"{r['improvement_over_worst_pct']:.1f}%"
         )
+        tl = self.timeline
+        lines.append("-- timeline --")
+        lines.append(
+            f"  samples {tl.get('num_samples', 0)} | events "
+            f"{tl.get('num_events', 0)} | by kind "
+            f"{tl.get('events_by_kind', {})}"
+        )
+        for name in ("step_cost_s", "imbalance_pct"):
+            st = tl.get("series", {}).get(name)
+            if st:
+                lines.append(
+                    f"  {name:<20} mean {st['mean']:10.3f} | p50 "
+                    f"{st['p50']:10.3f} | p95 {st['p95']:10.3f} | p99 "
+                    f"{st['p99']:10.3f}"
+                )
+        lines.append(f"-- anomaly alerts ({len(self.alerts)}) --")
+        for a in self.alerts[:8]:
+            lines.append(
+                f"  {a['series']:<20} idx {a['index']:>4} value "
+                f"{a['value']:10.3f}  z={a['zscore']:+.1f}"
+            )
         return "\n".join(lines)
 
 
@@ -139,6 +167,7 @@ def collect_run_report(
     compare_with: tuple[str, ...] = ("G-MISP+SP", "SFC"),
     online_steps: int = 48,
     include_spans: bool = False,
+    deterministic: bool = True,
 ) -> RunReport:
     """Run the scenario under a collection window and build the report.
 
@@ -146,8 +175,15 @@ def collect_run_report(
     ``runtime`` together to observe a custom one.  ``online_steps`` drives
     a short :class:`~repro.core.online.OnlineAdaptiveRuntime` run so the
     message-center counters reflect real agent traffic (0 skips it).
+    ``deterministic`` replaces measured partitioner wall-clock with the
+    deterministic cost model, making the simulated-seconds sections
+    reproducible across machines — what the benchdiff gate needs; pass
+    ``False`` to fold real partitioner timings back in.
     """
+    from contextlib import nullcontext
+
     from repro.core.online import OnlineAdaptiveRuntime
+    from repro.partitioners import deterministic_partition_time
 
     if app is None or policy is None or runtime is None:
         if (app, policy, runtime) != (None, None, None):
@@ -156,7 +192,8 @@ def collect_run_report(
             )
         app, policy, runtime = quickstart_scenario()
 
-    with obs.collect() as window:
+    timing = deterministic_partition_time() if deterministic else nullcontext()
+    with obs.collect() as window, timing:
         capacities = runtime.capacities()
         trace = runtime.characterize(app, policy, num_coarse_steps)
         adaptive_report = runtime.run_adaptive(
@@ -243,5 +280,9 @@ def collect_run_report(
             "mean_imbalance_pct": adaptive_report.adaptive.mean_imbalance_pct,
         },
         metrics=snap,
+        timeline=window.timeline.summary(),
+        alerts=[
+            a.as_dict() for a in detect_alerts(window.timeline)
+        ],
     )
     return report

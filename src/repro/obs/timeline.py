@@ -1,0 +1,237 @@
+"""Timeline recorder: one structured sample per regrid interval.
+
+Pragma's control loop reacts to *trajectories* — the monitor/forecaster
+feeds the policy base every regrid step — so the reproduction's
+observability must keep per-step series, not just end-of-run aggregates.
+The :class:`TimelineRecorder` collects one :class:`StepSample` per regrid
+interval from the execution simulator (phase seconds, imbalance, octant,
+chosen partitioner, forecast error, live processors, recovery counts) and
+a stream of irregular :meth:`events <TimelineRecorder.event>` from the
+meta-partitioner (switches), the resilience layer (checkpoints,
+recoveries) and the resource monitor (forecast error sweeps).
+
+The recorder snapshots to JSONL (one ``{"type": "sample"|"event"}`` line
+each), summarizes itself for run reports — per-series min/mean/max and
+exact p50/p95/p99 — and exposes plain per-field :meth:`series
+<TimelineRecorder.series>` for the EWMA anomaly detector
+(:mod:`repro.obs.anomaly`).
+
+A :class:`NullTimeline` keeps the disabled path free: instrumented call
+sites check ``timeline.enabled`` before building samples, so a run with
+observability off allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["StepSample", "TimelineRecorder", "NullTimeline"]
+
+#: StepSample fields exposed as numeric series (summary + anomaly scans)
+SERIES_FIELDS = (
+    "compute_s",
+    "comm_s",
+    "regrid_s",
+    "checkpoint_s",
+    "recovery_s",
+    "imbalance_pct",
+    "forecast_error_pct",
+    "step_cost_s",
+)
+
+
+@dataclass(slots=True)
+class StepSample:
+    """One regrid interval of the simulated run, as the monitor saw it."""
+
+    #: coarse-step index of the interval's snapshot
+    step: int
+    #: simulated seconds at the interval's start
+    t: float
+    #: coarse steps executed in the interval
+    coarse_steps: int
+    #: partitioner the meta-partitioner committed to
+    partitioner: str
+    #: octant classification ("I".."VIII"), when one was made
+    octant: str | None
+    compute_s: float
+    comm_s: float
+    regrid_s: float
+    checkpoint_s: float
+    recovery_s: float
+    #: max load imbalance of the committed partition (percent)
+    imbalance_pct: float
+    #: relative error of the last-value forecast of per-coarse-step cost
+    #: (percent; None for the first interval, which has no forecast)
+    forecast_error_pct: float | None
+    #: detect → rollback → resume cycles within the interval
+    recoveries: int
+    #: processors the detector considered live (num_procs when not
+    #: running fault-tolerant)
+    live_procs: int
+
+    @property
+    def step_cost_s(self) -> float:
+        """Total simulated seconds charged per coarse step."""
+        total = (self.compute_s + self.comm_s + self.regrid_s
+                 + self.checkpoint_s + self.recovery_s)
+        return total / self.coarse_steps if self.coarse_steps else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "step": self.step,
+            "t_s": self.t,
+            "coarse_steps": self.coarse_steps,
+            "partitioner": self.partitioner,
+            "octant": self.octant,
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "regrid_s": self.regrid_s,
+            "checkpoint_s": self.checkpoint_s,
+            "recovery_s": self.recovery_s,
+            "imbalance_pct": self.imbalance_pct,
+            "forecast_error_pct": self.forecast_error_pct,
+            "recoveries": self.recoveries,
+            "live_procs": self.live_procs,
+            "step_cost_s": self.step_cost_s,
+        }
+
+
+def _exact_quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    idx = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[idx]
+
+
+@dataclass(slots=True)
+class TimelineRecorder:
+    """Per-interval samples plus irregular events, in arrival order."""
+
+    samples: list[StepSample] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    enabled = True
+
+    def record(self, sample: StepSample) -> None:
+        """Append one per-interval sample."""
+        self.samples.append(sample)
+
+    def event(self, kind: str, t: float, **attrs: object) -> None:
+        """Append one irregular event (checkpoint, recovery, switch...)."""
+        self.events.append({"kind": kind, "t": float(t), **attrs})
+
+    def series(self, name: str) -> list[float]:
+        """One numeric series across samples (Nones dropped).
+
+        ``name`` is any of the numeric :class:`StepSample` fields
+        (``compute_s``, ``imbalance_pct``, ``forecast_error_pct``,
+        ``step_cost_s``, ...).
+        """
+        if name not in SERIES_FIELDS:
+            raise KeyError(
+                f"unknown timeline series {name!r}; choose from "
+                f"{SERIES_FIELDS}"
+            )
+        out = []
+        for s in self.samples:
+            v = getattr(s, name)
+            if v is not None:
+                out.append(float(v))
+        return out
+
+    def events_by_kind(self) -> dict[str, int]:
+        """Event count per kind (sorted by kind)."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e["kind"]] = out.get(e["kind"], 0) + 1
+        return dict(sorted(out.items()))
+
+    def summary(self) -> dict:
+        """JSON-ready roll-up: counts plus per-series stats with quantiles."""
+        series_stats: dict[str, dict] = {}
+        for name in SERIES_FIELDS:
+            values = self.series(name)
+            if not values:
+                continue
+            ordered = sorted(values)
+            series_stats[name] = {
+                "count": len(values),
+                "min": ordered[0],
+                "max": ordered[-1],
+                "mean": sum(values) / len(values),
+                "p50": _exact_quantile(ordered, 0.50),
+                "p95": _exact_quantile(ordered, 0.95),
+                "p99": _exact_quantile(ordered, 0.99),
+            }
+        return {
+            "num_samples": len(self.samples),
+            "num_events": len(self.events),
+            "coarse_steps": sum(s.coarse_steps for s in self.samples),
+            "partitioner_usage": self._usage(),
+            "events_by_kind": self.events_by_kind(),
+            "series": series_stats,
+        }
+
+    def _usage(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.samples:
+            out[s.partitioner] = out.get(s.partitioner, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dicts(self) -> list[dict]:
+        """Samples then events as typed plain dicts (the JSONL rows)."""
+        rows = [{"type": "sample", **s.as_dict()} for s in self.samples]
+        rows.extend({"type": "event", **e} for e in self.events)
+        return rows
+
+    def to_jsonl(self, target: str | Path) -> Path:
+        """Write the timeline as JSON Lines; returns the path."""
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for row in self.to_dicts():
+                fh.write(json.dumps(row, sort_keys=True))
+                fh.write("\n")
+        return path
+
+    def reset(self) -> None:
+        """Drop all samples and events."""
+        self.samples.clear()
+        self.events.clear()
+
+
+class NullTimeline(TimelineRecorder):
+    """The zero-cost default: records nothing.
+
+    Call sites gate sample construction on ``timeline.enabled``, so with
+    the null timeline installed the hot loop pays one attribute read.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 — deliberately skips parent init
+        pass
+
+    @property
+    def samples(self):  # type: ignore[override]
+        """Always empty."""
+        return ()
+
+    @property
+    def events(self):  # type: ignore[override]
+        """Always empty."""
+        return ()
+
+    def record(self, sample: StepSample) -> None:
+        """Nothing to record."""
+
+    def event(self, kind: str, t: float, **attrs: object) -> None:
+        """Nothing to record."""
+
+    def reset(self) -> None:
+        """Nothing to reset."""

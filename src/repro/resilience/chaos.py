@@ -175,17 +175,22 @@ def run_chaos(config: ChaosConfig | None = None) -> dict:
     ft = FaultTolerance()
 
     from repro.execsim import ExecutionSimulator
+    from repro.partitioners import deterministic_partition_time
 
-    clean = ExecutionSimulator(make_cluster(), fault_tolerance=False).run(
-        trace, selector
-    )
-    clean_runtime = clean.total_runtime
+    # Deterministic partitioner timings keep the whole document
+    # machine-independent, so committed BENCH_chaos.json baselines can be
+    # gated with `python -m repro benchdiff`.
+    with deterministic_partition_time():
+        clean = ExecutionSimulator(
+            make_cluster(), fault_tolerance=False
+        ).run(trace, selector)
+        clean_runtime = clean.total_runtime
 
-    runs = [
-        _replay_one(config, seed, trace, selector, make_cluster,
-                    clean_runtime, ft)
-        for seed in config.seeds
-    ]
+        runs = [
+            _replay_one(config, seed, trace, selector, make_cluster,
+                        clean_runtime, ft)
+            for seed in config.seeds
+        ]
     soaks = (
         [_soak_one(config, seed) for seed in config.seeds]
         if config.loss_rate > 0.0

@@ -152,23 +152,36 @@ def _import_scenario_modules(modules: Sequence[str]) -> None:
 
 
 def _execute_scenario(
-    name: str, base_seed: int, cache_dir: str | None
+    name: str, base_seed: int, cache_dir: str | None,
+    collect_spans: bool = False,
 ) -> dict[str, Any]:
     """Run one registered scenario; returns ``{"wall_s", "result"}``.
 
     Module-level so it is picklable for the process pool; looks the
     scenario up in this process's registry (workers import the scenario
-    modules in their initializer).
+    modules in their initializer).  With ``collect_spans`` the scenario
+    runs under its own collection window and the payload carries the
+    worker's span dicts (``"spans"``), which the parent grafts into its
+    tracer — sweep traces then show per-worker activity.
     """
     scenario = get_scenario(name)
     ctx = scenario.make_context(
         base_seed, Path(cache_dir) if cache_dir else None
     )
     t0 = time.perf_counter()
-    with deterministic_partition_time():
-        result = scenario.run(ctx)
+    if collect_spans:
+        with obs.collect() as window, deterministic_partition_time():
+            result = scenario.run(ctx)
+        spans = window.tracer.to_dicts()
+    else:
+        with deterministic_partition_time():
+            result = scenario.run(ctx)
+        spans = None
     wall = time.perf_counter() - t0
-    return {"wall_s": wall, "result": jsonify(result)}
+    payload: dict[str, Any] = {"wall_s": wall, "result": jsonify(result)}
+    if spans is not None:
+        payload["spans"] = spans
+    return payload
 
 
 def _worker_init(modules: Sequence[str]) -> None:
@@ -276,7 +289,12 @@ class SweepRunner:
         """Fan misses across the pool; returns results keyed by task index."""
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
         out: dict[int, TaskResult] = {}
+        tracer = obs.get_tracer()
+        collect_spans = tracer.enabled
         with obs.span("sweep.batch", jobs=self.jobs, tasks=len(misses)):
+            batch_t0 = (
+                time.perf_counter() - tracer.epoch if collect_spans else 0.0
+            )
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(misses)),
                 initializer=_worker_init,
@@ -285,7 +303,7 @@ class SweepRunner:
                 futures = [
                     (idx, scenario, key, pool.submit(
                         _execute_scenario, scenario.name, self.base_seed,
-                        cache_dir,
+                        cache_dir, collect_spans,
                     ))
                     for idx, scenario, key in misses
                 ]
@@ -301,6 +319,15 @@ class SweepRunner:
                             wall_s=payload["wall_s"],
                             result=payload["result"],
                         )
+                        if collect_spans and payload.get("spans"):
+                            # Graft the worker's span tree into the parent
+                            # trace, re-rooted under a per-scenario prefix
+                            # and shifted to the batch's start time.
+                            tracer.import_spans(
+                                payload["spans"],
+                                prefix=f"sweep.worker/{scenario.name}",
+                                offset=batch_t0,
+                            )
                     except Exception as exc:  # noqa: BLE001
                         task = TaskResult(
                             name=scenario.name, params=dict(scenario.params),

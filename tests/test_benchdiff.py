@@ -1,0 +1,196 @@
+"""Bench regression gate: document diffing and the CLI exit codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.cli import main
+from repro.obs.benchdiff import (
+    DEFAULT_IGNORES,
+    BenchDiff,
+    LeafDiff,
+    diff_documents,
+    diff_files,
+    flatten_document,
+)
+
+DOC = {
+    "scenario": "quickstart",
+    "timings": {"compute": 120.0, "comm": 8.0},
+    "tasks": [{"name": "a", "steps": 96}, {"name": "b", "steps": 96}],
+    "wall_s": 4.2,
+}
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = flatten_document(DOC)
+        assert flat["timings.compute"] == 120.0
+        assert flat["tasks.0.name"] == "a"
+        assert flat["tasks.1.steps"] == 96
+        assert flat["wall_s"] == 4.2
+
+    def test_scalar_document(self):
+        assert flatten_document(7.0) == {"": 7.0}
+
+
+class TestDiffDocuments:
+    def test_identical_documents_pass(self):
+        diff = diff_documents(DOC, copy.deepcopy(DOC))
+        assert diff.ok
+        assert not diff.failures
+        assert diff.counts().get("regression", 0) == 0
+
+    def test_within_tolerance_passes(self):
+        cur = copy.deepcopy(DOC)
+        cur["timings"]["compute"] = 120.5  # +0.4% under the 1% default
+        assert diff_documents(DOC, cur).ok
+
+    def test_regression_fails(self):
+        cur = copy.deepcopy(DOC)
+        cur["timings"]["compute"] = 150.0
+        diff = diff_documents(DOC, cur)
+        assert not diff.ok
+        (fail,) = diff.failures
+        assert fail.path == "timings.compute"
+        assert fail.status == "regression"
+        assert fail.rel_change > 0.2
+
+    def test_improvement_also_fails(self):
+        # A baseline that no longer describes the code must be
+        # regenerated deliberately, even when the drift is "good".
+        cur = copy.deepcopy(DOC)
+        cur["timings"]["compute"] = 60.0
+        assert not diff_documents(DOC, cur).ok
+
+    def test_missing_leaf_fails(self):
+        cur = copy.deepcopy(DOC)
+        del cur["timings"]["comm"]
+        diff = diff_documents(DOC, cur)
+        assert not diff.ok
+        assert diff.failures[0].status == "missing"
+
+    def test_added_leaf_passes(self):
+        cur = copy.deepcopy(DOC)
+        cur["timings"]["regrid"] = 3.0
+        diff = diff_documents(DOC, cur)
+        assert diff.ok
+        assert "timings.regrid" in diff.to_dict()["added"]
+
+    def test_default_ignores_skip_wall_clock(self):
+        cur = copy.deepcopy(DOC)
+        cur["wall_s"] = 400.0  # two orders of magnitude, still ignored
+        diff = diff_documents(DOC, cur)
+        assert diff.ok
+        wall = next(d for d in diff.leaves if d.path == "wall_s")
+        assert wall.status == "ignored"
+
+    def test_custom_tolerance_rule(self):
+        cur = copy.deepcopy(DOC)
+        cur["timings"]["comm"] = 9.0  # +12.5%
+        assert not diff_documents(DOC, cur).ok
+        assert diff_documents(
+            DOC, cur, tolerances={"timings.comm": 0.2}
+        ).ok
+
+    def test_non_numeric_leaves_must_be_equal(self):
+        cur = copy.deepcopy(DOC)
+        cur["scenario"] = "other"
+        diff = diff_documents(DOC, cur)
+        assert not diff.ok
+        assert diff.failures[0].rel_change is None
+
+    def test_bool_is_not_numeric(self):
+        base = {"invariants": {"hold": True}}
+        diff = diff_documents(base, {"invariants": {"hold": False}})
+        assert not diff.ok
+
+    def test_near_zero_leaves_use_abs_tol(self):
+        base = {"recovery_time": 0.0}
+        assert diff_documents(base, {"recovery_time": 5e-7}).ok
+        assert not diff_documents(base, {"recovery_time": 0.5}).ok
+
+    def test_to_dict_and_render(self):
+        cur = copy.deepcopy(DOC)
+        cur["timings"]["compute"] = 150.0
+        diff = diff_documents(DOC, cur)
+        doc = diff.to_dict()
+        json.dumps(doc)
+        assert doc["bench"] == "benchdiff"
+        assert doc["ok"] is False
+        text = diff.render()
+        assert "== bench regression gate ==" in text
+        assert "REGRESSION timings.compute" in text
+        assert text.endswith("FAIL")
+        assert diff_documents(DOC, DOC).render().endswith("PASS")
+
+    def test_empty_diff_passes(self):
+        assert BenchDiff().ok
+        assert LeafDiff(path="x", status="ok").as_dict()["path"] == "x"
+
+    def test_default_ignores_cover_span_paths(self):
+        assert "span_totals_by_path*" in DEFAULT_IGNORES
+
+
+class TestBenchdiffCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_identical_inputs_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", DOC)
+        cur = self._write(tmp_path, "cur.json", DOC)
+        assert main(["benchdiff", base, cur]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        doc = copy.deepcopy(DOC)
+        doc["timings"]["compute"] = 150.0
+        base = self._write(tmp_path, "base.json", DOC)
+        cur = self._write(tmp_path, "cur.json", doc)
+        assert main(["benchdiff", base, cur]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path):
+        base = self._write(tmp_path, "base.json", DOC)
+        cur = self._write(tmp_path, "cur.json", DOC)
+        out = tmp_path / "diff.json"
+        assert main(["benchdiff", base, cur, "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+
+    def test_rel_tol_flag_widens_gate(self, tmp_path):
+        doc = copy.deepcopy(DOC)
+        doc["timings"]["comm"] = 9.0  # +12.5%
+        base = self._write(tmp_path, "base.json", DOC)
+        cur = self._write(tmp_path, "cur.json", doc)
+        assert main(["benchdiff", base, cur]) == 1
+        assert main(["benchdiff", base, cur, "--rel-tol", "0.2"]) == 0
+
+    def test_diff_files_matches_diff_documents(self, tmp_path):
+        base = self._write(tmp_path, "base.json", DOC)
+        cur = self._write(tmp_path, "cur.json", DOC)
+        assert diff_files(base, cur).ok
+
+
+class TestTraceCli:
+    def test_trace_verb_writes_perfetto_document(self, tmp_path):
+        out = tmp_path / "trace.json"
+        tl = tmp_path / "tl.jsonl"
+        rc = main([
+            "trace", "--steps", "8", "--online-steps", "4",
+            "--timeline", str(tl), "--json", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        ts = [e["ts"] for e in events if "ts" in e]
+        assert ts == sorted(ts)
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        ends = {e["id"] for e in events if e["ph"] == "f"}
+        assert ends and ends <= starts
+        rows = [json.loads(line) for line in tl.read_text().splitlines()]
+        assert any(r["type"] == "sample" for r in rows)

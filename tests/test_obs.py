@@ -68,7 +68,7 @@ class TestMetricsRegistry:
     def test_empty_histogram_summary_is_finite(self):
         s = MetricsRegistry().histogram("h").summary()
         assert s == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                     "mean": 0.0}
+                     "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def test_snapshot_roundtrips_through_json(self):
         reg = MetricsRegistry()

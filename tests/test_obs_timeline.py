@@ -1,0 +1,235 @@
+"""Timeline recorder, EWMA anomaly detection, and their pipeline wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.anomaly import Alert, EwmaDetector, detect_alerts, detect_series
+from repro.obs.timeline import NullTimeline, StepSample, TimelineRecorder
+
+
+def _sample(step=0, **over):
+    base = dict(
+        step=step, t=float(step), coarse_steps=4, partitioner="G-MISP+SP",
+        octant="I", compute_s=4.0, comm_s=0.4, regrid_s=0.1,
+        checkpoint_s=0.0, recovery_s=0.0, imbalance_pct=7.5,
+        forecast_error_pct=3.0, recoveries=0, live_procs=16,
+    )
+    base.update(over)
+    return StepSample(**base)
+
+
+class TestStepSample:
+    def test_step_cost_divides_total_by_coarse_steps(self):
+        s = _sample(compute_s=4.0, comm_s=0.4, regrid_s=0.1, coarse_steps=4)
+        assert s.step_cost_s == pytest.approx(4.5 / 4)
+
+    def test_zero_coarse_steps_cost_is_zero(self):
+        assert _sample(coarse_steps=0).step_cost_s == 0.0
+
+    def test_as_dict_is_json_ready(self):
+        d = _sample().as_dict()
+        json.dumps(d)
+        assert d["t_s"] == 0.0
+        assert d["step_cost_s"] == pytest.approx(4.5 / 4)
+
+
+class TestTimelineRecorder:
+    def test_record_and_series(self):
+        tl = TimelineRecorder()
+        tl.record(_sample(0, imbalance_pct=5.0))
+        tl.record(_sample(4, imbalance_pct=9.0))
+        assert tl.series("imbalance_pct") == [5.0, 9.0]
+
+    def test_series_drops_none(self):
+        tl = TimelineRecorder()
+        tl.record(_sample(0, forecast_error_pct=None))
+        tl.record(_sample(4, forecast_error_pct=2.0))
+        assert tl.series("forecast_error_pct") == [2.0]
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(KeyError):
+            TimelineRecorder().series("nope")
+
+    def test_events_by_kind(self):
+        tl = TimelineRecorder()
+        tl.event("checkpoint", t=1.0, step=0)
+        tl.event("recovery", t=2.0, step=4)
+        tl.event("checkpoint", t=3.0, step=8)
+        assert tl.events_by_kind() == {"checkpoint": 2, "recovery": 1}
+
+    def test_summary_has_quantiles_and_usage(self):
+        tl = TimelineRecorder()
+        for k in range(10):
+            tl.record(_sample(k * 4, imbalance_pct=float(k)))
+        s = tl.summary()
+        assert s["num_samples"] == 10
+        assert s["coarse_steps"] == 40
+        assert s["partitioner_usage"] == {"G-MISP+SP": 10}
+        st = s["series"]["imbalance_pct"]
+        assert st["min"] == 0.0 and st["max"] == 9.0
+        assert st["p50"] == 5.0
+        assert st["p95"] <= st["p99"] <= st["max"]
+        json.dumps(s)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tl = TimelineRecorder()
+        tl.record(_sample(0))
+        tl.event("checkpoint", t=0.5, step=0, seconds=0.1)
+        path = tl.to_jsonl(tmp_path / "tl.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in rows] == ["sample", "event"]
+        assert rows[0]["partitioner"] == "G-MISP+SP"
+        assert rows[1]["kind"] == "checkpoint"
+
+    def test_reset_clears(self):
+        tl = TimelineRecorder()
+        tl.record(_sample(0))
+        tl.event("x", t=0.0)
+        tl.reset()
+        assert not tl.samples and not tl.events
+
+
+class TestNullTimeline:
+    def test_records_nothing(self):
+        tl = NullTimeline()
+        assert not tl.enabled
+        tl.record(_sample(0))
+        tl.event("checkpoint", t=0.0)
+        assert tl.samples == () and tl.events == ()
+        assert tl.summary()["num_samples"] == 0
+
+    def test_installed_by_default(self):
+        assert not obs.get_timeline().enabled
+
+    def test_collect_installs_and_restores(self):
+        before = obs.get_timeline()
+        with obs.collect() as window:
+            assert obs.get_timeline() is window.timeline
+            assert window.timeline.enabled
+        assert obs.get_timeline() is before
+
+
+class TestSimulatorTimeline:
+    def test_replay_records_one_sample_per_interval(self, small_rm3d_trace):
+        from repro.execsim import ExecutionSimulator, StaticSelector
+        from repro.gridsys import sp2_blue_horizon
+        from repro.partitioners import ISPPartitioner
+
+        sim = ExecutionSimulator(sp2_blue_horizon(8), num_procs=8)
+        with obs.collect() as window:
+            res = sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        tl = window.timeline
+        assert len(tl.samples) == len(res.records)
+        first, second = tl.samples[0], tl.samples[1]
+        assert first.forecast_error_pct is None
+        assert second.forecast_error_pct is not None
+        assert first.live_procs == 8
+        assert tl.samples[0].compute_s == pytest.approx(
+            res.records[0].compute_time
+        )
+        # Phase histograms carry quantiles for the same intervals.
+        h = window.registry.histogram("execsim.phase_seconds", phase="compute")
+        assert h.count == len(res.records)
+        assert h.summary()["p95"] >= h.summary()["p50"]
+
+    def test_resilient_replay_emits_checkpoint_and_recovery_events(
+        self, small_rm3d_trace
+    ):
+        from repro.execsim import ExecutionSimulator, StaticSelector
+        from repro.gridsys import FailureSchedule, sp2_blue_horizon
+        from repro.partitioners import ISPPartitioner
+
+        cluster = sp2_blue_horizon(8)
+        cluster.failures.events.extend(
+            FailureSchedule.poisson(
+                num_nodes=8, horizon=2000.0, mtbf=120.0, mttr=40.0, seed=3
+            ).events
+        )
+        sim = ExecutionSimulator(cluster, num_procs=8)
+        with obs.collect() as window:
+            res = sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        kinds = window.timeline.events_by_kind()
+        assert kinds.get("checkpoint", 0) == len(res.records)
+        if res.num_recoveries:
+            assert kinds.get("recovery", 0) == res.num_recoveries
+            assert any(s.recoveries for s in window.timeline.samples)
+
+    def test_disabled_path_records_nothing(self, small_rm3d_trace):
+        from repro.execsim import ExecutionSimulator, StaticSelector
+        from repro.gridsys import sp2_blue_horizon
+        from repro.partitioners import ISPPartitioner
+
+        sim = ExecutionSimulator(sp2_blue_horizon(8), num_procs=8)
+        sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        assert obs.get_timeline().samples == ()
+
+
+class TestEwmaDetector:
+    def test_flat_series_never_alerts(self):
+        assert detect_series("x", [5.0] * 50) == []
+
+    def test_spike_after_warmup_alerts(self):
+        values = [1.0, 1.1, 0.9, 1.0, 1.05, 0.95, 1.0, 50.0, 1.0]
+        alerts = detect_series("step_cost_s", values)
+        assert len(alerts) >= 1
+        spike = next(a for a in alerts if a.index == 7)
+        assert spike.value == 50.0
+        assert spike.zscore > 3.0
+        assert spike.series == "step_cost_s"
+
+    def test_warmup_suppresses_early_alerts(self):
+        # The spike inside the warmup window must not alert.
+        alerts = detect_series("x", [1.0, 100.0, 1.0], warmup=5)
+        assert alerts == []
+
+    def test_level_shift_stops_alerting_once_absorbed(self):
+        values = [1.0] * 10 + [10.0] * 30
+        alerts = detect_series("x", values)
+        # The transition alerts; the new steady state does not.
+        assert alerts
+        assert all(a.index < 20 for a in alerts)
+
+    def test_detector_validation(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(z_threshold=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(warmup=0)
+
+    def test_alert_as_dict_is_json_ready(self):
+        a = Alert(series="s", index=3, value=9.0, zscore=4.2, mean=1.0,
+                  std=0.5)
+        json.dumps(a.as_dict())
+
+    def test_detect_alerts_scans_timeline_series(self):
+        tl = TimelineRecorder()
+        for k in range(12):
+            tl.record(
+                _sample(k * 4, compute_s=400.0 if k == 9 else 4.0)
+            )
+        alerts = detect_alerts(tl)
+        assert any(
+            a.series == "step_cost_s" and a.index == 9 for a in alerts
+        )
+
+
+class TestReportIntegration:
+    def test_run_report_carries_timeline_and_alerts(self):
+        from repro.obs.report import collect_run_report
+
+        report = collect_run_report(
+            num_coarse_steps=24, compare_with=("SFC",), online_steps=8
+        )
+        doc = report.to_dict()
+        assert doc["timeline"]["num_samples"] > 0
+        assert "step_cost_s" in doc["timeline"]["series"]
+        assert isinstance(doc["obs"]["alerts"], list)
+        text = report.render()
+        assert "-- timeline --" in text
+        assert "anomaly alerts" in text
+        json.dumps(doc)
