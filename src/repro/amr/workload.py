@@ -13,10 +13,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels, obs
 from repro.amr.box import Box
 from repro.amr.hierarchy import GridHierarchy
+from repro.kernels.workload import composite_values_vector
 
 __all__ = ["WorkloadMap", "composite_load_map"]
+
+#: patch count from which the vector backend uses the batched scatter
+#: kernel; below it, contiguous slice adds are already optimal and the
+#: ragged index arithmetic would only add overhead.
+VECTOR_MIN_PATCHES = 32
 
 
 @dataclass(slots=True)
@@ -66,8 +73,21 @@ def composite_load_map(hierarchy: GridHierarchy) -> WorkloadMap:
     (``R`` time subcycles), i.e. up to ``load_per_cell * R^4`` per fully
     covered base cell in 3-D.  Partial coverage at unaligned patch edges is
     handled exactly with per-axis overlap counts.
+
+    The accumulation exists twice: the per-patch scalar loop below and
+    the patch-batched kernel in :mod:`repro.kernels.workload`, selected
+    by the kernel backend and proven bit-identical by the differential
+    suite.  The vector backend cuts over to the batched kernel only from
+    :data:`VECTOR_MIN_PATCHES` patches up — below that, slice adds over
+    a few large blocks are already optimal.
     """
     domain = hierarchy.domain
+    backend = kernels.active_backend()
+    obs.counter("kernels.calls", kernel="workload", backend=backend).inc()
+    if backend == "vector" and hierarchy.num_patches >= VECTOR_MIN_PATCHES:
+        return WorkloadMap(
+            domain=domain, values=composite_values_vector(hierarchy)
+        )
     values = np.zeros(domain.shape, dtype=float)
 
     for lvl in hierarchy.levels:

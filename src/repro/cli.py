@@ -45,6 +45,13 @@ regression (:mod:`repro.obs.benchdiff`)::
     python -m repro benchdiff BENCH_obs.json /tmp/BENCH_obs.json
     python -m repro benchdiff base.json cur.json --rel-tol 0.05 --json -
 
+``kernels-bench`` — deterministic op-level microbenchmarks of the
+scalar/vector kernel pairs (:mod:`repro.kernels.bench`), exiting
+non-zero when any pair's outputs disagree::
+
+    python -m repro kernels-bench
+    python -m repro kernels-bench --json BENCH_kernels.json
+
 The heavyweight experiments (table3/4/5, fig3/4) consume the reference
 RM3D trace, generated once (~30 s) and cached under ``.cache/``; the
 sweep uses the reduced CI-sized trace and caches results
@@ -61,7 +68,8 @@ from repro.experiments import EXPERIMENTS
 
 #: the subcommand verbs; anything else in argv[0] is a legacy experiment
 #: spelling and is rewritten to ``run <argv...>``
-VERBS = ("run", "sweep", "report", "chaos", "trace", "benchdiff")
+VERBS = ("run", "sweep", "report", "chaos", "trace", "benchdiff",
+         "kernels-bench")
 
 
 def _emit(document, json_arg) -> None:
@@ -237,6 +245,32 @@ def benchdiff_main(args: argparse.Namespace) -> int:
     return 0 if diff.ok else 1
 
 
+def kernels_bench_main(args: argparse.Namespace) -> int:
+    """The ``kernels-bench`` verb: scalar/vector kernel microbenchmarks.
+
+    Exits non-zero when any kernel pair's outputs disagree, so the bench
+    doubles as a CI equivalence gate.
+    """
+    from repro.kernels.bench import (
+        DEFAULT_SIZES,
+        render_kernels_bench,
+        run_kernels_bench,
+    )
+
+    print("running the kernels microbenchmark ...", file=sys.stderr)
+    doc = run_kernels_bench(
+        sizes=tuple(args.sizes) if args.sizes else DEFAULT_SIZES,
+        procs=args.procs,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.json is None:
+        print(render_kernels_bench(doc))
+    else:
+        _emit(doc, args.json)
+    return 0 if doc["gate"]["all_match"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The single subcommand parser behind ``python -m repro``."""
     json_parent, seed_parent = _shared_parents()
@@ -407,6 +441,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute tolerance floor for near-zero leaves (default 1e-6)",
     )
     p_diff.set_defaults(func=benchdiff_main)
+
+    p_kb = sub.add_parser(
+        "kernels-bench",
+        parents=[json_parent, seed_parent],
+        help="microbenchmark the scalar/vector kernel pairs",
+        description="Time each partitioning kernel pair (scalar reference "
+        "vs vectorized) on seeded synthetic inputs and verify their "
+        "outputs agree; JSON output is the BENCH_kernels.json document.",
+    )
+    p_kb.add_argument(
+        "--sizes", type=int, nargs="+", default=None, metavar="N",
+        help="unit counts for the sequence kernels "
+        "(default: 1000 10000 100000)",
+    )
+    p_kb.add_argument(
+        "--procs", type=int, default=64,
+        help="processors to partition across (default 64)",
+    )
+    p_kb.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per kernel, best-of (default 3)",
+    )
+    p_kb.set_defaults(func=kernels_bench_main)
     return parser
 
 
@@ -439,6 +496,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 f"--online-steps must be >= 0, got {args.online_steps}"
             )
+    if args.verb == "kernels-bench":
+        if args.sizes and any(n < 1 for n in args.sizes):
+            parser.error(f"--sizes must all be >= 1, got {args.sizes}")
+        if args.procs < 1:
+            parser.error(f"--procs must be >= 1, got {args.procs}")
+        if args.repeats < 1:
+            parser.error(f"--repeats must be >= 1, got {args.repeats}")
     if args.verb == "benchdiff":
         if args.rel_tol < 0:
             parser.error(f"--rel-tol must be >= 0, got {args.rel_tol}")

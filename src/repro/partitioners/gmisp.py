@@ -10,12 +10,18 @@ domain is unrefined — and is then split contiguously:
 - **G-MISP+SP** adds *sequence partitioning*: the exact minimal-bottleneck
   split over the variable-grain sequence, which buys the best load balance
   of the static schemes (Table 4: 11.3 % max imbalance).
+
+The segmentation loop exists twice — the scalar recursion below and the
+worklist kernel in :mod:`repro.kernels.gmisp` — selected by the kernel
+backend and proven bit-identical by the differential suite.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels, obs
+from repro.kernels.gmisp import variable_grain_bounds_vector
 from repro.partitioners.base import Partitioner
 from repro.partitioners.sequence import (
     greedy_sequence_partition,
@@ -23,24 +29,13 @@ from repro.partitioners.sequence import (
 )
 from repro.partitioners.units import CompositeUnits
 
-__all__ = ["GMISPPartitioner", "GMISPSPPartitioner"]
+__all__ = ["GMISPPartitioner", "GMISPSPPartitioner", "variable_grain_segments"]
 
 
-def _variable_grain_segments(
-    loads: np.ndarray, num_procs: int, coarse: int, split_factor: float
+def _scalar_bounds(
+    prefix: np.ndarray, n: int, coarse: int, threshold: float
 ) -> np.ndarray:
-    """Segment the curve into variable-grain blocks.
-
-    Returns the per-unit segment id (non-decreasing along the curve).
-    Starting from blocks of ``coarse`` units, any block with load above
-    ``split_factor * total / num_procs`` is recursively halved down to
-    single units.
-    """
-    n = loads.size
-    total = loads.sum()
-    threshold = split_factor * total / num_procs if total > 0 else np.inf
-    prefix = np.concatenate([[0.0], np.cumsum(loads)])
-
+    """Reference recursion: sorted segment start bounds (no ``n`` sentinel)."""
     seg_bounds: list[int] = []
 
     def emit(lo: int, hi: int) -> None:
@@ -54,11 +49,60 @@ def _variable_grain_segments(
 
     for start in range(0, n, coarse):
         emit(start, min(start + coarse, n))
+    return np.asarray(seg_bounds, dtype=int)
 
-    seg_bounds.append(n)
-    bounds = np.asarray(seg_bounds, dtype=int)
+
+def _force_min_segments(
+    bounds: np.ndarray, prefix: np.ndarray, n: int, num_procs: int
+) -> np.ndarray:
+    """Split segments until there are at least ``min(num_procs, n)``.
+
+    A coarse lightly-loaded curve can come out of the variable-grain pass
+    with fewer segments than processors, which would strand processors
+    empty no matter how the segments are dealt.  Repeatedly halve the
+    heaviest splittable segment (first index on ties) until every
+    processor can receive one.  Shared verbatim by both kernel backends.
+    """
+    want = min(num_procs, n)
+    cuts = list(bounds) + [n]
+    while len(cuts) - 1 < want:
+        best = -1
+        best_load = -1.0
+        for k in range(len(cuts) - 1):
+            if cuts[k + 1] - cuts[k] > 1:
+                load = float(prefix[cuts[k + 1]] - prefix[cuts[k]])
+                if load > best_load:
+                    best = k
+                    best_load = load
+        cuts.insert(best + 1, (cuts[best] + cuts[best + 1]) // 2)
+    return np.asarray(cuts[:-1], dtype=int)
+
+
+def variable_grain_segments(
+    loads: np.ndarray, num_procs: int, coarse: int, split_factor: float
+) -> np.ndarray:
+    """Segment the curve into variable-grain blocks.
+
+    Returns the per-unit segment id (non-decreasing along the curve).
+    Starting from blocks of ``coarse`` units, any block with load above
+    ``split_factor * total / num_procs`` is recursively halved down to
+    single units; heavily underspent curves are then force-split so at
+    least ``min(num_procs, n)`` segments exist.
+    """
+    loads = np.asarray(loads, dtype=float)
+    n = loads.size
+    total = loads.sum()
+    threshold = split_factor * total / num_procs if total > 0 else np.inf
+    prefix = np.concatenate([[0.0], np.cumsum(loads)])
+    backend = kernels.active_backend()
+    obs.counter("kernels.calls", kernel="gmisp_segments", backend=backend).inc()
+    if backend == "vector":
+        bounds = variable_grain_bounds_vector(prefix, n, coarse, threshold)
+    else:
+        bounds = _scalar_bounds(prefix, n, coarse, threshold)
+    bounds = _force_min_segments(bounds, prefix, n, num_procs)
     seg_of_unit = np.zeros(n, dtype=int)
-    seg_of_unit[bounds[1:-1]] = 1
+    seg_of_unit[bounds[1:]] = 1
     return np.cumsum(seg_of_unit)
 
 
@@ -82,7 +126,7 @@ class GMISPPartitioner(Partitioner):
     def _segment_loads(
         self, units: CompositeUnits, num_procs: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        seg = _variable_grain_segments(
+        seg = variable_grain_segments(
             units.loads, num_procs, self.coarse, self.split_factor
         )
         seg_loads = np.bincount(seg, weights=units.loads)

@@ -7,16 +7,118 @@ processor owns one rectangular block.  Compact rectangular subdomains give
 the lowest communication volume and data migration of the suite — at the
 price of the worst load balance (Table 4: 35 % max imbalance), because cut
 planes are constrained to whole lattice slices.
+
+The cut decision (:func:`choose_bisection_cut`) is shared between the
+scalar recursion here and the worklist kernel in
+:mod:`repro.kernels.pbd`, so the two backends dissect identically.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels, obs
 from repro.partitioners.base import Partitioner
 from repro.partitioners.units import CompositeUnits
 
-__all__ = ["PBDISPPartitioner"]
+__all__ = ["PBDISPPartitioner", "choose_bisection_cut", "pbd_partition_cube"]
+
+
+def choose_bisection_cut(
+    cube: np.ndarray, nprocs: int
+) -> tuple[int, int, int] | None:
+    """Best axis-aligned cut for splitting ``cube`` across ``nprocs``.
+
+    Returns ``(axis, cut, p1)`` — cut the cube before slice ``cut`` of
+    ``axis`` and give the low side ``p1`` processors — or ``None`` when no
+    axis can be cut.  When the cube holds at least one cell per processor,
+    cut positions are clamped so each side keeps enough whole slices for
+    its processor share (no processor can be starved of cells by a
+    skewed load profile).
+    """
+    p1 = nprocs // 2
+    frac = p1 / nprocs
+    ncells = cube.size
+    total = float(cube.sum())
+    best: tuple[float, int, int] | None = None  # (error, axis, cut)
+    for axis in range(3):
+        length = cube.shape[axis]
+        if length < 2:
+            continue
+        slab = ncells // length  # cells per whole slice of this axis
+        cmin, cmax = 1, length - 1
+        if ncells >= nprocs:
+            cmin = max(cmin, -(-p1 // slab))
+            cmax = min(cmax, length - (-(-(nprocs - p1) // slab)))
+            if cmin > cmax:
+                continue
+        other = tuple(a for a in range(3) if a != axis)
+        cums = np.cumsum(cube.sum(axis=other))
+        if total <= 0:
+            cut = min(max(int(round(length * frac)), cmin), cmax)
+            err = 0.0
+        else:
+            target = frac * total
+            idx = int(np.searchsorted(cums, target))
+            candidates = [c for c in (idx, idx + 1) if cmin <= c <= cmax]
+            if not candidates:
+                candidates = [min(max(idx, cmin), cmax)]
+            cut = min(candidates, key=lambda c: abs(float(cums[c - 1]) - target))
+            err = abs(float(cums[cut - 1]) - target)
+        if best is None or err < best[0]:
+            best = (err, axis, cut)
+    if best is None:
+        # Either a 1x1x1 cube, or the per-side slice windows closed on
+        # every axis: halve the longest cuttable axis and split the
+        # processor group in proportion to the cells on each side.
+        length = max(cube.shape)
+        if length < 2:
+            return None
+        axis = cube.shape.index(length)  # pragma: no cover - defensive
+        cut = length // 2  # pragma: no cover
+        lo_cells = cut * (ncells // length)  # pragma: no cover
+        p1 = int(round(nprocs * lo_cells / ncells))  # pragma: no cover
+        p1 = min(  # pragma: no cover
+            max(p1, max(1, nprocs - (ncells - lo_cells))),
+            min(nprocs - 1, lo_cells),
+        )
+        return axis, cut, p1  # pragma: no cover
+    return best[1], best[2], p1
+
+
+def _bisect_scalar(
+    cube: np.ndarray, owners: np.ndarray, proc_lo: int, proc_hi: int
+) -> None:
+    """Reference recursion over subcube views."""
+    nprocs = proc_hi - proc_lo
+    if nprocs <= 1:
+        owners[...] = proc_lo
+        return
+    plan = choose_bisection_cut(cube, nprocs)
+    if plan is None:
+        # No axis can be cut: give everything to the first subgroup.
+        owners[...] = proc_lo
+        return
+    axis, cut, p1 = plan
+    sl_lo = [slice(None)] * 3
+    sl_hi = [slice(None)] * 3
+    sl_lo[axis] = slice(0, cut)
+    sl_hi[axis] = slice(cut, cube.shape[axis])
+    _bisect_scalar(cube[tuple(sl_lo)], owners[tuple(sl_lo)], proc_lo, proc_lo + p1)
+    _bisect_scalar(cube[tuple(sl_hi)], owners[tuple(sl_hi)], proc_lo + p1, proc_hi)
+
+
+def pbd_partition_cube(cube: np.ndarray, num_procs: int) -> np.ndarray:
+    """Owner cube of the p-way binary dissection (backend-dispatched)."""
+    backend = kernels.active_backend()
+    obs.counter("kernels.calls", kernel="pbd", backend=backend).inc()
+    if backend == "vector":
+        from repro.kernels.pbd import pbd_partition_cube_vector
+
+        return pbd_partition_cube_vector(cube, num_procs)
+    owners = np.zeros(cube.shape, dtype=int)
+    _bisect_scalar(cube, owners, proc_lo=0, proc_hi=num_procs)
+    return owners
 
 
 class PBDISPPartitioner(Partitioner):
@@ -35,55 +137,6 @@ class PBDISPPartitioner(Partitioner):
         lat_loads = np.empty(len(units))
         lat_loads[units.lattice_index] = units.loads
         cube = lat_loads.reshape(units.grid_shape)
-        owners_cube = np.zeros(units.grid_shape, dtype=int)
-        self._bisect(cube, owners_cube, proc_lo=0, proc_hi=num_procs)
+        owners_cube = pbd_partition_cube(cube, num_procs)
         lat_owner = owners_cube.reshape(-1)
         return lat_owner[units.lattice_index]
-
-    def _bisect(
-        self,
-        cube: np.ndarray,
-        owners: np.ndarray,
-        proc_lo: int,
-        proc_hi: int,
-    ) -> None:
-        nprocs = proc_hi - proc_lo
-        if nprocs <= 1:
-            owners[...] = proc_lo
-            return
-        p1 = nprocs // 2
-        frac = p1 / nprocs
-        # Evaluate a cut on every axis and keep the one whose achievable
-        # plane lands closest to the target load fraction.
-        total = float(cube.sum())
-        best: tuple[float, int, int] | None = None  # (error, axis, cut)
-        for axis in range(3):
-            if cube.shape[axis] < 2:
-                continue
-            other = tuple(a for a in range(3) if a != axis)
-            cums = np.cumsum(cube.sum(axis=other))
-            if total <= 0:
-                cut = max(1, int(round(cube.shape[axis] * frac)))
-                err = 0.0
-            else:
-                target = frac * total
-                idx = int(np.searchsorted(cums, target))
-                candidates = [c for c in (idx, idx + 1)
-                              if 1 <= c <= cube.shape[axis] - 1]
-                if not candidates:
-                    candidates = [min(max(idx, 1), cube.shape[axis] - 1)]
-                cut = min(candidates, key=lambda c: abs(float(cums[c - 1]) - target))
-                err = abs(float(cums[cut - 1]) - target)
-            if best is None or err < best[0]:
-                best = (err, axis, cut)
-        if best is None:
-            # No axis can be cut: give everything to the first subgroup.
-            owners[...] = proc_lo
-            return
-        _, axis, cut = best
-        sl_lo = [slice(None)] * 3
-        sl_hi = [slice(None)] * 3
-        sl_lo[axis] = slice(0, cut)
-        sl_hi[axis] = slice(cut, cube.shape[axis])
-        self._bisect(cube[tuple(sl_lo)], owners[tuple(sl_lo)], proc_lo, proc_lo + p1)
-        self._bisect(cube[tuple(sl_hi)], owners[tuple(sl_hi)], proc_lo + p1, proc_hi)

@@ -11,11 +11,24 @@ the final step of every ISP-family partitioner.  Two algorithms:
   sequence-partitioning refinement that buys the best load balance.
 
 Both have capacity-weighted variants for heterogeneous targets.
+
+Each hot loop exists twice: the scalar reference below and a vectorized
+kernel in :mod:`repro.kernels.sequence`, selected by the process-wide
+kernel backend (``REPRO_KERNELS``).  The pair is proven bit-identical by
+the differential suite in ``tests/test_kernels.py``; keep both halves in
+lockstep when changing either.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro import kernels, obs
+from repro.kernels.sequence import (
+    boundaries_to_assignment_vector,
+    greedy_owners_vector,
+    weighted_owners_vector,
+)
 
 __all__ = [
     "greedy_sequence_partition",
@@ -24,6 +37,13 @@ __all__ = [
     "segment_loads",
     "boundaries_to_assignment",
 ]
+
+
+def _tick(kernel: str) -> str:
+    """Count the dispatch under the active backend; returns the backend."""
+    backend = kernels.active_backend()
+    obs.counter("kernels.calls", kernel=kernel, backend=backend).inc()
+    return backend
 
 
 def _check_inputs(loads: np.ndarray, p: int) -> np.ndarray:
@@ -39,6 +59,8 @@ def _check_inputs(loads: np.ndarray, p: int) -> np.ndarray:
 
 def boundaries_to_assignment(boundaries: np.ndarray, n: int, p: int) -> np.ndarray:
     """Segment boundaries (p+1 prefix cut points) → per-item owner array."""
+    if _tick("boundaries_to_assignment") == "vector":
+        return boundaries_to_assignment_vector(boundaries, n, p)
     owners = np.empty(n, dtype=int)
     for k in range(p):
         owners[boundaries[k] : boundaries[k + 1]] = k
@@ -54,10 +76,15 @@ def greedy_sequence_partition(loads: np.ndarray, p: int) -> np.ndarray:
     """Greedy split: close each segment once it reaches the running target.
 
     Returns the per-item owner array.  Guarantees every processor gets a
-    (possibly empty) contiguous range and all items are assigned.
+    contiguous range, all items are assigned, and — when there are at
+    least ``p`` items — no processor is left empty: a segment also closes
+    when the remaining items are only just enough to give every remaining
+    processor one.
     """
     loads = _check_inputs(loads, p)
     n = loads.size
+    if _tick("greedy") == "vector":
+        return greedy_owners_vector(loads, p)
     total = loads.sum()
     owners = np.empty(n, dtype=int)
     target = total / p
@@ -66,9 +93,10 @@ def greedy_sequence_partition(loads: np.ndarray, p: int) -> np.ndarray:
     for i in range(n):
         owners[i] = seg
         acc += loads[i]
-        # Close the segment when it reached its fair share, keeping enough
-        # items for the remaining processors.
-        if acc >= target * (seg + 1) and seg < p - 1:
+        # Close the segment when it reached its fair share — or when the
+        # items left are exactly enough for the processors left (the
+        # reserve clause that keeps every processor non-empty).
+        if seg < p - 1 and (acc >= target * (seg + 1) or n - 1 - i <= p - 1 - seg):
             seg += 1
     return owners
 
@@ -94,7 +122,15 @@ def _feasible(prefix: np.ndarray, p: int, bottleneck: float) -> np.ndarray | Non
         return None
     while len(boundaries) < p + 1:
         boundaries.append(n)
-    return np.asarray(boundaries, dtype=int)
+    out = np.asarray(boundaries, dtype=int)
+    if n >= p:
+        # The greedy fill packs left and can leave trailing segments
+        # empty.  Cap boundary k at n - p + k: late cut points slide left
+        # just enough to hand every trailing segment one item.  Each
+        # donated item's load is <= max(load) <= any feasible bottleneck,
+        # so feasibility (and the optimal bottleneck) is preserved.
+        out = np.minimum(out, n - p + np.arange(p + 1))
+    return out
 
 
 def optimal_sequence_partition(
@@ -140,7 +176,10 @@ def weighted_sequence_partition(
     Implements the paper's system-sensitive distribution: "the workload is
     distributed proportionately" to relative capacities (Section 4.6).
     Cut points are chosen so each processor's cumulative share tracks the
-    cumulative capacity fraction.
+    cumulative capacity fraction.  Targets already met by the load
+    *preceding* an item are skipped before the item is assigned, so a
+    zero-capacity processor (duplicate cumulative target) receives no
+    items at all.
     """
     loads = _check_inputs(loads, p)
     capacities = np.asarray(capacities, dtype=float)
@@ -153,12 +192,19 @@ def weighted_sequence_partition(
     if total == 0.0:
         # Degenerate: spread items evenly.
         return (np.arange(n) * p // max(n, 1)).astype(int)
+    if _tick("weighted") == "vector":
+        return weighted_owners_vector(loads, p, capacities, total)
     prefix = np.cumsum(loads)
     cum_target = np.cumsum(capacities) / capacities.sum() * total
     owners = np.empty(n, dtype=int)
     seg = 0
+    prev = 0.0
     for i in range(n):
-        owners[i] = seg
-        while seg < p - 1 and prefix[i] >= cum_target[seg]:
+        # Advance past every target the load so far has already met
+        # *before* assigning, so met (incl. zero-capacity) targets never
+        # absorb the next item.
+        while seg < p - 1 and prev >= cum_target[seg]:
             seg += 1
+        owners[i] = seg
+        prev = prefix[i]
     return owners

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.partitioners.base import Partitioner
+from repro.partitioners.sequence import greedy_sequence_partition
 from repro.partitioners.units import CompositeUnits
 
 __all__ = ["SFCPartitioner"]
@@ -47,16 +48,8 @@ class SFCPartitioner(Partitioner):
         chunk_loads = np.bincount(chunk_ids, weights=units.loads,
                                   minlength=num_chunks)
 
-        # Greedy deal in curve order: each chunk goes to the processor
-        # whose cumulative share is furthest below its target.
-        total = chunk_loads.sum()
-        target = total / num_procs if total > 0 else 1.0
-        owners_of_chunk = np.empty(num_chunks, dtype=int)
-        acc = 0.0
-        proc = 0
-        for c in range(num_chunks):
-            owners_of_chunk[c] = proc
-            acc += chunk_loads[c]
-            if acc >= target * (proc + 1) and proc < num_procs - 1:
-                proc += 1
+        # Greedy deal in curve order; the chunk sequence is exactly a
+        # sequence-partitioning instance, so the shared (backend-dispatched)
+        # greedy kernel does the dealing.
+        owners_of_chunk = greedy_sequence_partition(chunk_loads, num_procs)
         return owners_of_chunk[chunk_ids]

@@ -2,8 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+# CI runs with HYPOTHESIS_PROFILE=ci: derandomized, bounded examples, no
+# deadline flakes on loaded runners.  Locally the default profile keeps
+# hypothesis's own randomized exploration.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.amr.box import Box
 from repro.amr.regrid import Regridder, RegridPolicy

@@ -1,0 +1,12 @@
+"""Frozen scalar reference implementations (the differential oracle).
+
+These modules are verbatim copies of the scalar halves of every kernel
+pair, taken at the moment the vectorized kernels landed.  THE FREEZE
+RULE: do not edit these files to make a failing differential test pass —
+they define the semantics both backends must reproduce bit-for-bit.
+They may only change when the *intended* algorithm changes, in the same
+commit as the matching scalar + vector updates and a regression test.
+
+The modules are dependency-free (numpy plus duck-typed hierarchy/box
+objects) so they cannot drift along with the production code.
+"""

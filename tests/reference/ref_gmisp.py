@@ -1,0 +1,50 @@
+"""Frozen scalar G-MISP segmentation reference (see package docstring).
+
+Verbatim scalar path of ``variable_grain_segments`` in
+``repro/partitioners/gmisp.py`` at kernel introduction, including the
+minimum-segment forced splitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def variable_grain_segments(loads, num_procs, coarse, split_factor):
+    loads = np.asarray(loads, dtype=float)
+    n = loads.size
+    total = loads.sum()
+    threshold = split_factor * total / num_procs if total > 0 else np.inf
+    prefix = np.concatenate([[0.0], np.cumsum(loads)])
+
+    seg_bounds = []
+
+    def emit(lo, hi):
+        load = prefix[hi] - prefix[lo]
+        if load > threshold and hi - lo > 1:
+            mid = (lo + hi) // 2
+            emit(lo, mid)
+            emit(mid, hi)
+        else:
+            seg_bounds.append(lo)
+
+    for start in range(0, n, coarse):
+        emit(start, min(start + coarse, n))
+
+    want = min(num_procs, n)
+    cuts = list(seg_bounds) + [n]
+    while len(cuts) - 1 < want:
+        best = -1
+        best_load = -1.0
+        for k in range(len(cuts) - 1):
+            if cuts[k + 1] - cuts[k] > 1:
+                load = float(prefix[cuts[k + 1]] - prefix[cuts[k]])
+                if load > best_load:
+                    best = k
+                    best_load = load
+        cuts.insert(best + 1, (cuts[best] + cuts[best + 1]) // 2)
+
+    bounds = np.asarray(cuts[:-1], dtype=int)
+    seg_of_unit = np.zeros(n, dtype=int)
+    seg_of_unit[bounds[1:]] = 1
+    return np.cumsum(seg_of_unit)

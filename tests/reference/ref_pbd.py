@@ -1,0 +1,81 @@
+"""Frozen scalar pBD-ISP dissection reference (see package docstring).
+
+Verbatim cut chooser + recursion of ``repro/partitioners/pbd_isp.py`` at
+kernel introduction, including the per-side slice-window clamp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def choose_bisection_cut(cube, nprocs):
+    p1 = nprocs // 2
+    frac = p1 / nprocs
+    ncells = cube.size
+    total = float(cube.sum())
+    best = None  # (error, axis, cut)
+    for axis in range(3):
+        length = cube.shape[axis]
+        if length < 2:
+            continue
+        slab = ncells // length
+        cmin, cmax = 1, length - 1
+        if ncells >= nprocs:
+            cmin = max(cmin, -(-p1 // slab))
+            cmax = min(cmax, length - (-(-(nprocs - p1) // slab)))
+            if cmin > cmax:
+                continue
+        other = tuple(a for a in range(3) if a != axis)
+        cums = np.cumsum(cube.sum(axis=other))
+        if total <= 0:
+            cut = min(max(int(round(length * frac)), cmin), cmax)
+            err = 0.0
+        else:
+            target = frac * total
+            idx = int(np.searchsorted(cums, target))
+            candidates = [c for c in (idx, idx + 1) if cmin <= c <= cmax]
+            if not candidates:
+                candidates = [min(max(idx, cmin), cmax)]
+            cut = min(candidates, key=lambda c: abs(float(cums[c - 1]) - target))
+            err = abs(float(cums[cut - 1]) - target)
+        if best is None or err < best[0]:
+            best = (err, axis, cut)
+    if best is None:
+        length = max(cube.shape)
+        if length < 2:
+            return None
+        axis = cube.shape.index(length)
+        cut = length // 2
+        lo_cells = cut * (ncells // length)
+        p1 = int(round(nprocs * lo_cells / ncells))
+        p1 = min(
+            max(p1, max(1, nprocs - (ncells - lo_cells))),
+            min(nprocs - 1, lo_cells),
+        )
+        return axis, cut, p1
+    return best[1], best[2], p1
+
+
+def _bisect(cube, owners, proc_lo, proc_hi):
+    nprocs = proc_hi - proc_lo
+    if nprocs <= 1:
+        owners[...] = proc_lo
+        return
+    plan = choose_bisection_cut(cube, nprocs)
+    if plan is None:
+        owners[...] = proc_lo
+        return
+    axis, cut, p1 = plan
+    sl_lo = [slice(None)] * 3
+    sl_hi = [slice(None)] * 3
+    sl_lo[axis] = slice(0, cut)
+    sl_hi[axis] = slice(cut, cube.shape[axis])
+    _bisect(cube[tuple(sl_lo)], owners[tuple(sl_lo)], proc_lo, proc_lo + p1)
+    _bisect(cube[tuple(sl_hi)], owners[tuple(sl_hi)], proc_lo + p1, proc_hi)
+
+
+def pbd_partition_cube(cube, num_procs):
+    owners = np.zeros(cube.shape, dtype=int)
+    _bisect(cube, owners, proc_lo=0, proc_hi=num_procs)
+    return owners

@@ -1,0 +1,116 @@
+"""Frozen scalar sequence-partitioning reference (see package docstring).
+
+Verbatim scalar paths of ``repro/partitioners/sequence.py`` at kernel
+introduction, including the greedy reserve clause, the weighted
+advance-before-assign, and the feasibility trailing-empty redistribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_inputs(loads, p):
+    loads = np.asarray(loads, dtype=float)
+    if loads.ndim != 1 or loads.size == 0:
+        raise ValueError("loads must be a non-empty 1-D array")
+    if (loads < 0).any():
+        raise ValueError("loads must be non-negative")
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return loads
+
+
+def boundaries_to_assignment(boundaries, n, p):
+    owners = np.empty(n, dtype=int)
+    for k in range(p):
+        owners[boundaries[k] : boundaries[k + 1]] = k
+    return owners
+
+
+def greedy_sequence_partition(loads, p):
+    loads = check_inputs(loads, p)
+    n = loads.size
+    total = loads.sum()
+    owners = np.empty(n, dtype=int)
+    target = total / p
+    acc = 0.0
+    seg = 0
+    for i in range(n):
+        owners[i] = seg
+        acc += loads[i]
+        if seg < p - 1 and (acc >= target * (seg + 1) or n - 1 - i <= p - 1 - seg):
+            seg += 1
+    return owners
+
+
+def feasible(prefix, p, bottleneck):
+    n = prefix.size - 1
+    boundaries = [0]
+    start = 0
+    for _ in range(p):
+        if start == n:
+            break
+        limit = prefix[start] + bottleneck
+        end = int(np.searchsorted(prefix, limit, side="right")) - 1
+        if end <= start:
+            return None
+        boundaries.append(end)
+        start = end
+    if start < n:
+        return None
+    while len(boundaries) < p + 1:
+        boundaries.append(n)
+    out = np.asarray(boundaries, dtype=int)
+    if n >= p:
+        out = np.minimum(out, n - p + np.arange(p + 1))
+    return out
+
+
+def optimal_sequence_partition(loads, p, *, tol=1e-9):
+    loads = check_inputs(loads, p)
+    n = loads.size
+    prefix = np.concatenate([[0.0], np.cumsum(loads)])
+    total = prefix[-1]
+    if p == 1 or total == 0.0:
+        return np.zeros(n, dtype=int) if p == 1 else greedy_sequence_partition(loads, p)
+
+    lo = max(loads.max(), total / p)
+    hi = total
+    best = feasible(prefix, p, hi)
+    if best is None:
+        raise AssertionError("full-range bottleneck must be feasible")
+    eps = max(tol * total, 1e-15)
+    while hi - lo > eps:
+        mid = 0.5 * (lo + hi)
+        b = feasible(prefix, p, mid)
+        if b is None:
+            lo = mid
+        else:
+            hi = mid
+            best = b
+    return boundaries_to_assignment(best, n, p)
+
+
+def weighted_sequence_partition(loads, p, capacities):
+    loads = check_inputs(loads, p)
+    capacities = np.asarray(capacities, dtype=float)
+    if capacities.shape != (p,):
+        raise ValueError(f"capacities shape {capacities.shape}, expected ({p},)")
+    if (capacities < 0).any() or capacities.sum() <= 0:
+        raise ValueError("capacities must be non-negative with positive sum")
+    n = loads.size
+    total = loads.sum()
+    if total == 0.0:
+        return (np.arange(n) * p // max(n, 1)).astype(int)
+    prefix = np.cumsum(loads)
+    cum_target = np.cumsum(capacities) / capacities.sum() * total
+    owners = np.empty(n, dtype=int)
+    seg = 0
+    prev = 0.0
+    for i in range(n):
+        while seg < p - 1 and prev >= cum_target[seg]:
+            seg += 1
+        owners[i] = seg
+        prev = prefix[i]
+    return owners

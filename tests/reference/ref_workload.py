@@ -1,0 +1,51 @@
+"""Frozen scalar composite-load-map reference (see package docstring).
+
+Verbatim scalar accumulation loop of ``composite_load_map`` in
+``repro/amr/workload.py`` at kernel introduction.  Operates on any
+duck-typed hierarchy (``levels``, ``cumulative_ratio``, boxes with
+``slices``/``coarsen``/``intersection``); returns the raw values array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _axis_overlap(flo, fhi, clo, chi, ratio):
+    n = chi - clo
+    idx = np.arange(clo, chi)
+    starts = np.maximum(idx * ratio, flo)
+    ends = np.minimum((idx + 1) * ratio, fhi)
+    return np.maximum(ends - starts, 0).astype(np.int64).reshape(n)
+
+
+def composite_values(hierarchy):
+    domain = hierarchy.domain
+    values = np.zeros(domain.shape, dtype=float)
+
+    for lvl in hierarchy.levels:
+        ratio = hierarchy.cumulative_ratio(lvl.index)
+        subcycles = ratio
+        for patch in lvl:
+            weight = patch.load_per_cell * subcycles
+            if ratio == 1:
+                sl = patch.box.slices(domain.lo)
+                values[sl] += weight
+                continue
+            coarse = patch.box.coarsen(ratio)
+            counts = [
+                _axis_overlap(patch.box.lo[a], patch.box.hi[a], coarse.lo[a],
+                              coarse.hi[a], ratio)
+                for a in range(3)
+            ]
+            block = (
+                counts[0][:, None, None]
+                * counts[1][None, :, None]
+                * counts[2][None, None, :]
+            ).astype(float)
+            clipped = coarse.intersection(domain)
+            if clipped is None:
+                continue
+            bsl = clipped.slices(coarse.lo)
+            values[clipped.slices(domain.lo)] += weight * block[bsl]
+    return values

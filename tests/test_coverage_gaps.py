@@ -95,3 +95,100 @@ class TestClusterPresetsScale:
     def test_linux_rejects_zero(self):
         with pytest.raises(ValueError):
             linux_cluster(0)
+
+
+class TestPACMetricsEdges:
+    """PAC metric edge cases: empty adjacency and lattice resampling."""
+
+    def test_comm_volume_zero_for_single_unit(self):
+        from repro.partitioners import evaluate_partition
+
+        wm = WorkloadMap(Box.from_shape((4, 4, 4)), np.ones((4, 4, 4)))
+        units = build_units(wm, granularity=4)  # one unit, no adjacency
+        assert len(units) == 1
+        m = evaluate_partition(ISPPartitioner().partition(units, 1))
+        assert m.comm_volume == 0.0
+        assert m.load_imbalance_pct == pytest.approx(0.0)
+
+    def test_migration_resamples_mismatched_lattices(self, small_hierarchy):
+        from repro.partitioners import evaluate_partition
+
+        coarse = build_units(small_hierarchy, granularity=4)
+        fine = build_units(small_hierarchy, granularity=2)
+        prev = ISPPartitioner().partition(coarse, 4)
+        cur = ISPPartitioner().partition(fine, 4)
+        m = evaluate_partition(cur, prev)
+        assert np.isfinite(m.data_migration)
+        assert 0.0 <= m.data_migration <= cur.units.total_load
+
+    def test_migration_resample_identity_when_owners_align(self):
+        from repro.partitioners import evaluate_partition
+
+        wm = WorkloadMap(Box.from_shape((8, 4, 4)), np.ones((8, 4, 4)))
+        coarse = build_units(wm, granularity=4)
+        fine = build_units(wm, granularity=2)
+        # One processor: every lattice cell is owned by 0 at both
+        # granularities, so the nearest-neighbor resample must report
+        # zero migration.
+        prev = ISPPartitioner().partition(coarse, 1)
+        cur = ISPPartitioner().partition(fine, 1)
+        assert evaluate_partition(cur, prev).data_migration == 0.0
+
+
+class TestClusteringEdges:
+    """Berger–Rigoutsos paths not reached by the main clustering suite."""
+
+    def test_min_width_validation(self):
+        from repro.amr.clustering import cluster_flags
+
+        with pytest.raises(ValueError):
+            cluster_flags(np.ones((2, 2, 2), dtype=bool), min_width=0)
+
+    def test_min_width_blocks_splitting(self):
+        from repro.amr.clustering import cluster_flags
+
+        flags = np.zeros((8, 2, 2), dtype=bool)
+        flags[0], flags[7] = True, True  # sparse: efficiency 0.25
+        boxes = cluster_flags(flags, min_efficiency=0.9, min_width=8)
+        assert len(boxes) == 1
+        assert boxes[0] == Box((0, 0, 0), (8, 2, 2))
+
+    def test_max_boxes_caps_fanout(self):
+        from repro.amr.clustering import cluster_flags
+
+        rng = np.random.default_rng(3)
+        flags = rng.random((16, 16, 16)) < 0.05
+        uncapped = cluster_flags(flags, min_efficiency=0.95)
+        capped = cluster_flags(flags, min_efficiency=0.95, max_boxes=3)
+        # The cap stops further splitting once reached; branches already
+        # in flight still emit one box each, so the output shrinks far
+        # below the uncapped fan-out without losing coverage.
+        assert 1 <= len(capped) < len(uncapped)
+        covered = np.zeros_like(flags)
+        for b in capped:
+            covered[b.slices()] = True
+        assert covered[flags].all()
+
+    def test_uniform_signature_falls_back_to_halving(self):
+        from repro.amr.clustering import cluster_flags
+
+        # A diagonal line: every per-axis signature is constant (no holes,
+        # zero Laplacian), forcing the midpoint-of-longest-axis fallback.
+        flags = np.zeros((8, 8, 8), dtype=bool)
+        for i in range(8):
+            flags[i, i, i] = True
+        boxes = cluster_flags(flags, min_efficiency=0.5, min_width=2)
+        assert len(boxes) >= 2
+        covered = np.zeros_like(flags)
+        for b in boxes:
+            covered[b.slices()] = True
+        assert covered[flags].all()
+
+    def test_hole_split_prefers_separable_regions(self):
+        from repro.amr.clustering import cluster_flags
+
+        flags = np.zeros((16, 4, 4), dtype=bool)
+        flags[0:3], flags[13:16] = True, True  # two blobs, wide hole
+        boxes = cluster_flags(flags, min_efficiency=0.9, min_width=2)
+        assert sorted(b.lo[0] for b in boxes) == [0, 13]
+        assert all(b.shape[0] == 3 for b in boxes)

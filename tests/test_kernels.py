@@ -1,0 +1,315 @@
+"""Differential tests: kernel backends vs the frozen scalar oracle.
+
+Every vectorized kernel in :mod:`repro.kernels` must be *bit-identical*
+to the scalar loop it replaces.  The oracle is the frozen copy under
+``tests/reference/`` (see its freeze rule); both backends are compared
+against it over a randomized corpus and a committed golden corpus of
+serialized hierarchies + partition digests under ``tests/golden/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.amr.box import Box
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.regrid import Regridder, RegridPolicy
+from repro.amr.trace import Snapshot
+from repro.amr.workload import VECTOR_MIN_PATCHES, composite_load_map
+from repro.core.meta_partitioner import MetaPartitioner
+from repro.partitioners import PARTITIONER_REGISTRY, build_units
+from repro.partitioners.gmisp import variable_grain_segments
+from repro.partitioners.pbd_isp import pbd_partition_cube
+from repro.partitioners.sequence import (
+    greedy_sequence_partition,
+    optimal_sequence_partition,
+    weighted_sequence_partition,
+)
+
+TESTS = Path(__file__).parent
+BACKENDS = kernels.BACKENDS
+
+
+def _load_reference(name: str):
+    path = TESTS / "reference" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+ref_sequence = _load_reference("ref_sequence")
+ref_gmisp = _load_reference("ref_gmisp")
+ref_pbd = _load_reference("ref_pbd")
+ref_workload = _load_reference("ref_workload")
+
+
+def digest(arr: np.ndarray) -> str:
+    """Byte-exact sha256 of an array (int64 for owners, float64 for loads)."""
+    arr = np.asarray(arr)
+    dtype = np.float64 if np.issubdtype(arr.dtype, np.floating) else np.int64
+    return hashlib.sha256(
+        np.ascontiguousarray(arr, dtype=dtype).tobytes()
+    ).hexdigest()
+
+
+# -- randomized corpora -------------------------------------------------------
+
+
+def _loads_corpus(rng: np.random.Generator):
+    """(loads, p) cases spanning the shapes the partitioners meet."""
+    cases = []
+    for n, p in [(1, 1), (3, 5), (7, 3), (64, 8), (100, 7), (250, 16), (997, 31)]:
+        loads = rng.random(n)
+        cases.append((loads, p))
+        spiky = loads.copy()
+        spiky[:: max(n // 5, 1)] *= 200.0
+        cases.append((spiky, p))
+        sparse = loads * (rng.random(n) > 0.6)
+        cases.append((sparse, p))
+    cases.append((np.zeros(40), 6))        # degenerate: no load at all
+    cases.append((np.ones(12), 12))        # exactly one unit per processor
+    cases.append((np.ones(5), 9))          # fewer units than processors
+    return cases
+
+
+def _capacities_corpus(rng: np.random.Generator, p: int):
+    caps = [np.ones(p), rng.random(p) + 0.05]
+    if p > 1:
+        zeroed = rng.random(p) + 0.5
+        zeroed[:: 2] = 0.0                 # half the nodes unavailable
+        caps.append(zeroed)
+    return caps
+
+
+def _hierarchy_corpus():
+    """Regridded hierarchies: blob, bulky noise, sparse spikes."""
+    rng = np.random.default_rng(42)
+    out = []
+
+    blob_domain = Box((0, 0, 0), (32, 16, 16))
+    err = np.zeros(blob_domain.shape)
+    err[6:14, 4:10, 4:10] = 0.6
+    err[8:12, 5:8, 5:8] = 0.95
+    out.append(
+        Regridder(blob_domain, RegridPolicy(thresholds=(0.3, 0.8))).regrid(err)
+    )
+
+    noise_domain = Box((0, 0, 0), (24, 24, 12))
+    noise = rng.random(noise_domain.shape)
+    out.append(
+        Regridder(noise_domain, RegridPolicy(thresholds=(0.55, 0.85))).regrid(noise)
+    )
+
+    sparse_domain = Box((0, 0, 0), (32, 32, 16))
+    spikes = (rng.random(sparse_domain.shape) > 0.985).astype(float)
+    out.append(
+        Regridder(sparse_domain, RegridPolicy(thresholds=(0.5,))).regrid(spikes)
+    )
+    return out
+
+
+# -- sequence kernels ---------------------------------------------------------
+
+
+class TestSequenceDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_greedy_matches_oracle(self, backend):
+        rng = np.random.default_rng(1234)
+        with kernels.use_backend(backend):
+            for loads, p in _loads_corpus(rng):
+                got = greedy_sequence_partition(loads, p)
+                want = ref_sequence.greedy_sequence_partition(loads, p)
+                np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_optimal_matches_oracle(self, backend):
+        rng = np.random.default_rng(5678)
+        with kernels.use_backend(backend):
+            for loads, p in _loads_corpus(rng):
+                got = optimal_sequence_partition(loads, p)
+                want = ref_sequence.optimal_sequence_partition(loads, p)
+                np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_weighted_matches_oracle(self, backend):
+        rng = np.random.default_rng(91011)
+        with kernels.use_backend(backend):
+            for loads, p in _loads_corpus(rng):
+                for caps in _capacities_corpus(rng, p):
+                    got = weighted_sequence_partition(loads, p, caps)
+                    want = ref_sequence.weighted_sequence_partition(loads, p, caps)
+                    np.testing.assert_array_equal(got, want)
+
+    def test_backends_agree_pairwise(self):
+        """vector == scalar directly, not just both == oracle."""
+        rng = np.random.default_rng(1213)
+        for loads, p in _loads_corpus(rng):
+            with kernels.use_backend("vector"):
+                v = greedy_sequence_partition(loads, p)
+            with kernels.use_backend("scalar"):
+                s = greedy_sequence_partition(loads, p)
+            np.testing.assert_array_equal(v, s)
+
+
+# -- G-MISP segmentation ------------------------------------------------------
+
+
+class TestGMISPDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_segments_match_oracle(self, backend):
+        rng = np.random.default_rng(1415)
+        with kernels.use_backend(backend):
+            for loads, p in _loads_corpus(rng):
+                for coarse in (4, 16, 64):
+                    for split_factor in (0.25, 1.0):
+                        got = variable_grain_segments(loads, p, coarse, split_factor)
+                        want = ref_gmisp.variable_grain_segments(
+                            loads, p, coarse, split_factor
+                        )
+                        np.testing.assert_array_equal(got, want)
+
+
+# -- pBD-ISP dissection -------------------------------------------------------
+
+
+class TestPBDDifferential:
+    CUBES = [(8, 8, 8), (16, 8, 4), (5, 7, 3), (2, 2, 2), (1, 9, 1)]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cube_owners_match_oracle(self, backend):
+        rng = np.random.default_rng(1617)
+        with kernels.use_backend(backend):
+            for shape in self.CUBES:
+                for procs in (1, 2, 3, 7, 13):
+                    cube = rng.random(shape)
+                    got = pbd_partition_cube(cube, procs)
+                    want = ref_pbd.pbd_partition_cube(cube, procs)
+                    np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_load_cube(self, backend):
+        with kernels.use_backend(backend):
+            got = pbd_partition_cube(np.zeros((6, 4, 2)), 5)
+            want = ref_pbd.pbd_partition_cube(np.zeros((6, 4, 2)), 5)
+            np.testing.assert_array_equal(got, want)
+
+
+# -- composite load map -------------------------------------------------------
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_values_match_oracle(self, backend):
+        hierarchies = _hierarchy_corpus()
+        # the corpus must actually exercise the batched scatter kernel
+        assert any(h.num_patches >= VECTOR_MIN_PATCHES for h in hierarchies)
+        with kernels.use_backend(backend):
+            for hierarchy in hierarchies:
+                got = composite_load_map(hierarchy).values
+                want = ref_workload.composite_values(hierarchy)
+                np.testing.assert_array_equal(got, want)
+
+
+# -- golden corpus ------------------------------------------------------------
+
+GOLDEN = sorted((TESTS / "golden").glob("*.json"))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("path", GOLDEN, ids=lambda p: p.stem)
+def test_golden_corpus(path, backend):
+    doc = json.loads(path.read_text())
+    hierarchy = GridHierarchy.from_dict(doc["hierarchy"])
+    with kernels.use_backend(backend):
+        workload = composite_load_map(hierarchy)
+        assert digest(workload.values) == doc["workload_digest"]
+        units = build_units(hierarchy, granularity=doc["granularity"])
+        for name, want in doc["partitions"].items():
+            part = PARTITIONER_REGISTRY[name]().partition(units, doc["num_procs"])
+            assert digest(part.assignment) == want, (
+                f"{name} drifted from golden digest under {backend} backend"
+            )
+
+
+def test_golden_corpus_exists():
+    assert len(GOLDEN) >= 2
+    for path in GOLDEN:
+        doc = json.loads(path.read_text())
+        assert set(doc["partitions"]) == set(PARTITIONER_REGISTRY)
+
+
+# -- backend switch -----------------------------------------------------------
+
+
+class TestBackendSwitch:
+    def test_env_read_once_lazily(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_backend", None)
+        monkeypatch.setenv(kernels.ENV_VAR, "scalar")
+        assert kernels.active_backend() == "scalar"
+        monkeypatch.setenv(kernels.ENV_VAR, "vector")
+        assert kernels.active_backend() == "scalar"
+
+    def test_default_when_env_unset(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_backend", None)
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        assert kernels.active_backend() == kernels.DEFAULT_BACKEND
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_backend", None)
+        monkeypatch.setenv(kernels.ENV_VAR, "simd")
+        with pytest.raises(ValueError, match="simd"):
+            kernels.active_backend()
+
+    def test_set_backend_normalizes_and_validates(self):
+        prev = kernels.active_backend()
+        try:
+            assert kernels.set_backend("  SCALAR ") == "scalar"
+            assert kernels.active_backend() == "scalar"
+            with pytest.raises(ValueError):
+                kernels.set_backend("bogus")
+            assert kernels.active_backend() == "scalar"
+        finally:
+            kernels.set_backend(prev)
+
+    def test_use_backend_restores_on_exception(self):
+        prev = kernels.active_backend()
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("scalar"):
+                assert kernels.active_backend() == "scalar"
+                raise RuntimeError("boom")
+        assert kernels.active_backend() == prev
+
+    def test_vectorized_flag(self):
+        with kernels.use_backend("vector"):
+            assert kernels.vectorized()
+        with kernels.use_backend("scalar"):
+            assert not kernels.vectorized()
+
+    def test_meta_partitioner_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="bogus"):
+            MetaPartitioner(kernel_backend="bogus")
+
+    def test_meta_partitioner_pins_backend(self, small_hierarchy):
+        prev = kernels.active_backend()
+        try:
+            kernels.set_backend("vector")
+            meta = MetaPartitioner(kernel_backend="scalar")
+            meta.decide(Snapshot(step=0, hierarchy=small_hierarchy), None)
+            assert kernels.active_backend() == "scalar"
+        finally:
+            kernels.set_backend(prev)
+
+    def test_unpinned_meta_partitioner_leaves_backend(self, small_hierarchy):
+        with kernels.use_backend("scalar"):
+            MetaPartitioner().decide(
+                Snapshot(step=0, hierarchy=small_hierarchy), None
+            )
+            assert kernels.active_backend() == "scalar"

@@ -144,3 +144,32 @@ class TestWeighted:
         targets = caps / caps.sum() * w.sum()
         # each segment within one item weight of its target cumulative cut
         assert np.abs(np.cumsum(loads) - np.cumsum(targets)).max() <= w.max() + 1e-9
+
+
+class TestScalarFixRegressions:
+    """Pinned behaviors of the scalar-loop fixes made when the vectorized
+    kernels landed (both backends must satisfy them; the differential suite
+    keeps them aligned)."""
+
+    def test_greedy_reserves_units_for_remaining_procs(self):
+        # Load concentrated at the tail: without the reserve clause the
+        # greedy fill kept everything on processor 0.
+        owners = greedy_sequence_partition(np.array([1.0, 1.0, 10.0]), 3)
+        assert owners.tolist() == [0, 1, 2]
+
+    def test_optimal_redistributes_trailing_empties(self):
+        # A dominant first unit satisfies the bottleneck immediately; the
+        # feasibility scan used to pad the remaining processors empty.
+        w = np.array([9.0, 1.0, 1.0])
+        owners = optimal_sequence_partition(w, 3)
+        counts = np.bincount(owners, minlength=3)
+        assert (counts > 0).all()
+        assert segment_loads(w, owners, 3).max() == pytest.approx(9.0)
+
+    def test_weighted_advances_before_assigning(self):
+        # A zero-capacity processor 0 must not receive the first unit:
+        # the old assign-then-advance order handed it one anyway.
+        owners = weighted_sequence_partition(
+            np.array([1.0, 1.0]), 2, np.array([0.0, 1.0])
+        )
+        assert owners.tolist() == [1, 1]
