@@ -98,17 +98,37 @@ class DeadLetter:
     attempts: int
 
 
+#: default bound on the dead-letter queue.  An unconsumed queue on a
+#: sustained-lossy link previously grew without limit — a slow memory
+#: leak in any long-running control network that never drains it.
+DEAD_LETTER_CAPACITY = 4096
+
+
 class MessageCenter:
     """Port registry, point-to-point delivery, and topic pub/sub."""
 
-    def __init__(self, policy: DeliveryPolicy | None = None) -> None:
+    def __init__(
+        self,
+        policy: DeliveryPolicy | None = None,
+        *,
+        dead_letter_capacity: int = DEAD_LETTER_CAPACITY,
+    ) -> None:
+        if dead_letter_capacity < 1:
+            raise ValueError(
+                f"dead_letter_capacity must be >= 1, got {dead_letter_capacity}"
+            )
         self.policy = policy or DeliveryPolicy()
         self._rng = random.Random(self.policy.seed)
         self._ports: dict[str, Port] = {}
         self._subscriptions: dict[str, set[str]] = {}
         self._delivered = 0
         self._retries = 0
-        self.dead_letters: list[DeadLetter] = []
+        #: bounded: oldest entries are evicted (and counted in
+        #: :attr:`dead_letters_dropped`) once the capacity is reached
+        self.dead_letters: deque[DeadLetter] = deque(
+            maxlen=dead_letter_capacity
+        )
+        self.dead_letters_dropped = 0
 
     # -- ports ------------------------------------------------------------------
 
@@ -216,6 +236,9 @@ class MessageCenter:
     # -- dead letters -------------------------------------------------------------
 
     def _dead_letter(self, message: Message, reason: str, *, attempts: int) -> None:
+        if len(self.dead_letters) == self.dead_letters.maxlen:
+            self.dead_letters_dropped += 1
+            obs.counter("mc.dead_letters_dropped").inc()
         self.dead_letters.append(
             DeadLetter(message=message, reason=reason,
                        time=message.time, attempts=attempts)
@@ -223,9 +246,14 @@ class MessageCenter:
         obs.counter("mc.dead_letters", reason=reason).inc()
 
     def drain_dead_letters(self) -> list[DeadLetter]:
-        """Pop and return every accumulated dead letter."""
-        out = self.dead_letters
-        self.dead_letters = []
+        """Pop and return every retained dead letter (oldest first).
+
+        Letters evicted by the capacity bound are gone — only the
+        :attr:`dead_letters_dropped` count (and the
+        ``mc.dead_letters_dropped`` counter) records that they existed.
+        """
+        out = list(self.dead_letters)
+        self.dead_letters.clear()
         return out
 
     @property

@@ -11,15 +11,22 @@ that substrate:
 - :mod:`repro.amr.clustering` — Berger–Rigoutsos point clustering,
 - :mod:`repro.amr.regrid` — flag → cluster → refine regridding,
 - :mod:`repro.amr.workload` — composite load maps over the base grid,
-- :mod:`repro.amr.trace` — adaptation traces (the paper's "snap-shots").
+- :mod:`repro.amr.trace` — adaptation traces (the paper's "snap-shots"),
+- :mod:`repro.amr.diff` — hierarchy diffing for the incremental regrid
+  path (dirty-region detection between successive snapshots).
 """
 
 from repro.amr.box import Box
 from repro.amr.grid import Patch, Level
 from repro.amr.hierarchy import GridHierarchy
 from repro.amr.clustering import cluster_flags
+from repro.amr.diff import HierarchyDiff, diff_hierarchies
 from repro.amr.regrid import Regridder, RegridPolicy
-from repro.amr.workload import WorkloadMap, composite_load_map
+from repro.amr.workload import (
+    WorkloadMap,
+    composite_load_map,
+    update_composite_load_map,
+)
 from repro.amr.trace import AdaptationTrace, Snapshot
 from repro.amr.report import hierarchy_report, trace_report
 
@@ -28,11 +35,14 @@ __all__ = [
     "Patch",
     "Level",
     "GridHierarchy",
+    "HierarchyDiff",
     "cluster_flags",
+    "diff_hierarchies",
     "Regridder",
     "RegridPolicy",
     "WorkloadMap",
     "composite_load_map",
+    "update_composite_load_map",
     "AdaptationTrace",
     "Snapshot",
     "hierarchy_report",

@@ -1,0 +1,191 @@
+"""Hierarchy diffing for the incremental regrid path.
+
+SAMR adaptation is localized: successive regrid snapshots differ in a
+handful of patches while the bulk of the hierarchy — and everything
+derived from it (composite load map, unit arrays, SFC orderings,
+adjacency) — is unchanged.  :func:`diff_hierarchies` compares two
+hierarchies structurally and reports the *dirty region*: the base-grid
+cells whose composite load could differ.  Consumers (the execution
+simulator's :class:`~repro.execsim.reuse.UnitsReuseCache`) recompute only
+that region and reuse the rest, bit-identically to a full recompute.
+
+Patches are matched by value — ``(level, box, load_per_cell)`` — not by
+``patch_id``, because regridders renumber ids freely.  Matching is
+order-sensitive: floating-point accumulation order is part of the
+composite-load-map contract, so when the surviving patches of a level
+appear in a different relative order than before, the whole level is
+conservatively marked dirty rather than risking a reordered sum.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.amr.grid import Patch
+from repro.amr.hierarchy import GridHierarchy
+
+__all__ = ["HierarchyDiff", "diff_hierarchies", "patch_signature"]
+
+
+def patch_signature(patch: Patch) -> tuple:
+    """Value identity of a patch for diffing (``patch_id`` excluded)."""
+    return (patch.level, patch.box.lo, patch.box.hi, patch.load_per_cell)
+
+
+@dataclass(slots=True)
+class HierarchyDiff:
+    """Structural difference between two snapshots' hierarchies.
+
+    ``compatible`` means the incremental path applies: same base domain
+    and same refinement ratios on every common level.  ``identical``
+    additionally means no patch changed — every derived structure can be
+    reused outright.  ``dirty_mask`` (base-grid bool array, present iff
+    ``compatible``) marks the cells whose composite load must be
+    recomputed; it is all-False iff ``identical``.
+    """
+
+    compatible: bool
+    identical: bool
+    dirty_mask: np.ndarray | None
+    #: patches present (by value) in both hierarchies, in order
+    unchanged_patches: int
+    #: patches added, removed, or conservatively invalidated (reordering)
+    changed_patches: int
+    #: levels whose entire footprint was invalidated
+    dirty_levels: tuple[int, ...] = ()
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of base-grid cells in the dirty region (0 when clean)."""
+        if self.dirty_mask is None or self.dirty_mask.size == 0:
+            return 1.0 if not self.compatible else 0.0
+        return float(np.count_nonzero(self.dirty_mask)) / self.dirty_mask.size
+
+
+def _mark(mask: np.ndarray, hierarchy: GridHierarchy, patch: Patch) -> None:
+    """Set the base-space footprint of ``patch`` in ``mask``.
+
+    Inlined coarsen + clip arithmetic (``Box.coarsen().intersection()``
+    without the intermediate objects): diffing runs at every regrid
+    interval over every changed patch, and box construction dominated
+    its profile.
+    """
+    ratio = hierarchy.cumulative_ratio(patch.level)
+    dlo = hierarchy.domain.lo
+    dhi = hierarchy.domain.hi
+    plo = patch.box.lo
+    phi = patch.box.hi
+    lo = [0, 0, 0]
+    hi = [0, 0, 0]
+    for a in range(3):
+        lo[a] = max(plo[a] // ratio, dlo[a])
+        hi[a] = min(-(-phi[a] // ratio), dhi[a])
+        if lo[a] >= hi[a]:
+            return
+    mask[
+        lo[0] - dlo[0]:hi[0] - dlo[0],
+        lo[1] - dlo[1]:hi[1] - dlo[1],
+        lo[2] - dlo[2]:hi[2] - dlo[2],
+    ] = True
+
+
+def _common_subsequence_ok(
+    old_sigs: list[tuple], new_sigs: list[tuple]
+) -> bool:
+    """True if surviving patches keep their relative order on both sides."""
+    common = Counter(old_sigs) & Counter(new_sigs)
+    remaining = Counter(common)
+    old_filtered = []
+    for s in old_sigs:
+        if remaining[s] > 0:
+            remaining[s] -= 1
+            old_filtered.append(s)
+    remaining = Counter(common)
+    new_filtered = []
+    for s in new_sigs:
+        if remaining[s] > 0:
+            remaining[s] -= 1
+            new_filtered.append(s)
+    return old_filtered == new_filtered
+
+
+def diff_hierarchies(
+    old: GridHierarchy, new: GridHierarchy
+) -> HierarchyDiff:
+    """Diff two hierarchies into a :class:`HierarchyDiff`.
+
+    Incompatible pairs (different domains, or a common level whose
+    refinement ratio changed — which rescales every contribution at and
+    below it) report ``compatible=False`` and no dirty mask; callers must
+    fall back to a full recompute.
+    """
+    if old.domain != new.domain:
+        return HierarchyDiff(
+            compatible=False, identical=False, dirty_mask=None,
+            unchanged_patches=0,
+            changed_patches=old.num_patches + new.num_patches,
+        )
+    n_common = min(old.num_levels, new.num_levels)
+    for lvl in range(n_common):
+        if old.levels[lvl].ratio != new.levels[lvl].ratio:
+            return HierarchyDiff(
+                compatible=False, identical=False, dirty_mask=None,
+                unchanged_patches=0,
+                changed_patches=old.num_patches + new.num_patches,
+            )
+
+    mask = np.zeros(new.domain.shape, dtype=bool)
+    unchanged = 0
+    changed = 0
+    dirty_levels: list[int] = []
+
+    # Levels present on only one side are wholly dirty.
+    for h in (old, new):
+        for lvl in h.levels[n_common:]:
+            dirty_levels.append(lvl.index)
+            for p in lvl:
+                _mark(mask, h, p)
+                changed += 1
+
+    for idx in range(n_common):
+        old_lvl = old.levels[idx]
+        new_lvl = new.levels[idx]
+        old_sigs = [patch_signature(p) for p in old_lvl]
+        new_sigs = [patch_signature(p) for p in new_lvl]
+        if old_sigs == new_sigs:
+            unchanged += len(new_sigs)
+            continue
+        if not _common_subsequence_ok(old_sigs, new_sigs):
+            # Surviving patches were reordered: accumulation order — part
+            # of the bit-identity contract — would change, so invalidate
+            # the whole level.
+            dirty_levels.append(idx)
+            for p in old_lvl:
+                _mark(mask, old, p)
+            for p in new_lvl:
+                _mark(mask, new, p)
+            changed += len(old_sigs) + len(new_sigs)
+            continue
+        common = Counter(old_sigs) & Counter(new_sigs)
+        unchanged += sum(common.values())
+        for h, lvl, sigs in ((old, old_lvl, old_sigs), (new, new_lvl, new_sigs)):
+            remaining = Counter(common)
+            for p, s in zip(lvl, sigs):
+                if remaining[s] > 0:
+                    remaining[s] -= 1
+                else:
+                    _mark(mask, h, p)
+                    changed += 1
+
+    identical = changed == 0 and old.num_levels == new.num_levels
+    return HierarchyDiff(
+        compatible=True,
+        identical=identical,
+        dirty_mask=mask,
+        unchanged_patches=unchanged,
+        changed_patches=changed,
+        dirty_levels=tuple(sorted(set(dirty_levels))),
+    )

@@ -136,6 +136,27 @@ class AdaptationTrace:
             return np.zeros(0)
         return np.abs(np.diff(cells)) / np.maximum(cells[:-1], 1.0)
 
+    def dirty_fractions(self) -> np.ndarray:
+        """Base-grid dirty fraction of each snapshot-to-snapshot transition.
+
+        Entry ``k`` is the fraction of base cells the incremental regrid
+        path must recompute going from snapshot ``k`` to ``k+1`` (1.0 for
+        incompatible transitions).  This is the trace's *reuse potential*:
+        the lower the fractions, the more the execution simulator's
+        :class:`~repro.execsim.reuse.UnitsReuseCache` saves.
+        """
+        from repro.amr.diff import diff_hierarchies
+
+        if len(self.snapshots) < 2:
+            return np.zeros(0)
+        return np.array(
+            [
+                diff_hierarchies(a.hierarchy, b.hierarchy).dirty_fraction
+                for a, b in zip(self.snapshots, self.snapshots[1:])
+            ],
+            dtype=float,
+        )
+
     # -- persistence ----------------------------------------------------------------
 
     def to_json(self) -> str:

@@ -18,7 +18,7 @@ from repro.amr.box import Box
 from repro.amr.hierarchy import GridHierarchy
 from repro.kernels.workload import composite_values_vector
 
-__all__ = ["WorkloadMap", "composite_load_map"]
+__all__ = ["WorkloadMap", "composite_load_map", "update_composite_load_map"]
 
 #: patch count from which the vector backend uses the batched scatter
 #: kernel; below it, contiguous slice adds are already optimal and the
@@ -116,6 +116,70 @@ def composite_load_map(hierarchy: GridHierarchy) -> WorkloadMap:
             # Slice the block to the clipped region relative to `coarse`.
             bsl = clipped.slices(coarse.lo)
             values[clipped.slices(domain.lo)] += weight * block[bsl]
+    return WorkloadMap(domain=domain, values=values)
+
+
+def update_composite_load_map(
+    old: WorkloadMap,
+    hierarchy: GridHierarchy,
+    dirty_mask: np.ndarray,
+) -> WorkloadMap:
+    """Incrementally update ``old`` to reflect ``hierarchy``.
+
+    ``dirty_mask`` (from :func:`repro.amr.diff.diff_hierarchies`) marks
+    the base cells whose composite load may have changed; those cells are
+    zeroed and re-accumulated from every patch of the *new* hierarchy
+    whose footprint touches them, in the same (level, patch) order as a
+    full recompute.  Clean cells keep their previous values — by the
+    diff's construction every patch covering them is unchanged and in
+    unchanged relative order, so the result is **bit-identical** to
+    ``composite_load_map(hierarchy)`` (proven by the incremental
+    differential suite).
+    """
+    domain = hierarchy.domain
+    if old.domain != domain:
+        raise ValueError("incremental update requires an unchanged domain")
+    if dirty_mask.shape != old.values.shape:
+        raise ValueError(
+            f"dirty_mask shape {dirty_mask.shape} does not match "
+            f"map shape {old.values.shape}"
+        )
+    obs.counter("kernels.calls", kernel="workload",
+                backend="incremental").inc()
+    values = old.values.copy()
+    values[dirty_mask] = 0.0
+
+    for lvl in hierarchy.levels:
+        ratio = hierarchy.cumulative_ratio(lvl.index)
+        subcycles = ratio
+        for patch in lvl:
+            weight = patch.load_per_cell * subcycles
+            if ratio == 1:
+                sl = patch.box.slices(domain.lo)
+                local = dirty_mask[sl]
+                if local.any():
+                    values[sl][local] += weight
+                continue
+            coarse = patch.box.coarsen(ratio)
+            clipped = coarse.intersection(domain)
+            if clipped is None:
+                continue
+            sl = clipped.slices(domain.lo)
+            local = dirty_mask[sl]
+            if not local.any():
+                continue
+            counts = [
+                _axis_overlap(patch.box.lo[a], patch.box.hi[a], coarse.lo[a],
+                              coarse.hi[a], ratio)
+                for a in range(3)
+            ]
+            block = (
+                counts[0][:, None, None]
+                * counts[1][None, :, None]
+                * counts[2][None, None, :]
+            ).astype(float)
+            bsl = clipped.slices(coarse.lo)
+            values[sl][local] += (weight * block[bsl])[local]
     return WorkloadMap(domain=domain, values=values)
 
 

@@ -52,6 +52,13 @@ non-zero when any pair's outputs disagree::
     python -m repro kernels-bench
     python -m repro kernels-bench --json BENCH_kernels.json
 
+``execsim-bench`` — the execsim comm-cost kernel pair and the regrid
+reuse cache (:mod:`repro.execsim.bench`), exiting non-zero when the
+backends disagree::
+
+    python -m repro execsim-bench
+    python -m repro execsim-bench --json BENCH_execsim.json
+
 The heavyweight experiments (table3/4/5, fig3/4) consume the reference
 RM3D trace, generated once (~30 s) and cached under ``.cache/``; the
 sweep uses the reduced CI-sized trace and caches results
@@ -69,7 +76,7 @@ from repro.experiments import EXPERIMENTS
 #: the subcommand verbs; anything else in argv[0] is a legacy experiment
 #: spelling and is rewritten to ``run <argv...>``
 VERBS = ("run", "sweep", "report", "chaos", "trace", "benchdiff",
-         "kernels-bench")
+         "kernels-bench", "execsim-bench")
 
 
 def _emit(document, json_arg) -> None:
@@ -271,6 +278,35 @@ def kernels_bench_main(args: argparse.Namespace) -> int:
     return 0 if doc["gate"]["all_match"] else 1
 
 
+def execsim_bench_main(args: argparse.Namespace) -> int:
+    """The ``execsim-bench`` verb: comm-cost kernels and regrid reuse.
+
+    Exits non-zero when the kernel backends disagree or the reuse cache
+    diverges from full rebuilds, so the bench doubles as a CI
+    equivalence gate.
+    """
+    from repro.execsim.bench import (
+        DEFAULT_PAIR_COUNTS,
+        render_execsim_bench,
+        run_execsim_bench,
+    )
+
+    print("running the execsim benchmark ...", file=sys.stderr)
+    doc = run_execsim_bench(
+        pair_counts=(
+            tuple(args.pairs) if args.pairs else DEFAULT_PAIR_COUNTS
+        ),
+        procs=args.procs,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.json is None:
+        print(render_execsim_bench(doc))
+    else:
+        _emit(doc, args.json)
+    return 0 if doc["gate"]["all_match"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The single subcommand parser behind ``python -m repro``."""
     json_parent, seed_parent = _shared_parents()
@@ -464,6 +500,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repeats per kernel, best-of (default 3)",
     )
     p_kb.set_defaults(func=kernels_bench_main)
+
+    p_eb = sub.add_parser(
+        "execsim-bench",
+        parents=[json_parent, seed_parent],
+        help="benchmark the execsim cost kernel and regrid reuse cache",
+        description="Time the comm-cost kernel pair on synthetic "
+        "adjacency problems, replay the regrid reuse cache over the "
+        "RM3D and a localized trace, and verify every path matches the "
+        "scalar/full-recompute reference; JSON output is the "
+        "BENCH_execsim.json document.",
+    )
+    p_eb.add_argument(
+        "--pairs", type=int, nargs="+", default=None, metavar="N",
+        help="adjacency-pair counts for the cost kernel "
+        "(default: 1000 10000 100000)",
+    )
+    p_eb.add_argument(
+        "--procs", type=int, default=64,
+        help="processors the synthetic assignments scatter over "
+        "(default 64)",
+    )
+    p_eb.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per case, best-of (default 3)",
+    )
+    p_eb.set_defaults(func=execsim_bench_main)
     return parser
 
 

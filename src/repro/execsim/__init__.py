@@ -13,7 +13,12 @@ detect → rollback → redistribute → resume loop natively (see
 :mod:`repro.resilience`).
 """
 
-from repro.execsim.costmodel import CostModel
+from repro.execsim.costmodel import (
+    CostModel,
+    comm_cost_terms,
+    per_step_comm_times,
+)
+from repro.execsim.reuse import UnitsReuseCache
 from repro.execsim.selector import (
     PartitionerSelector,
     StaticSelector,
@@ -23,7 +28,6 @@ from repro.execsim.simulator import (
     ExecutionSimulator,
     RunResult,
     StepRecord,
-    per_step_comm_times,
 )
 
 __all__ = [
@@ -34,5 +38,7 @@ __all__ = [
     "ExecutionSimulator",
     "RunResult",
     "StepRecord",
+    "UnitsReuseCache",
+    "comm_cost_terms",
     "per_step_comm_times",
 ]

@@ -1,0 +1,163 @@
+"""Cross-interval reuse of regrid-derived structures.
+
+The execution simulator rebuilt the composite workload map, unit arrays,
+SFC ordering, and adjacency structures from scratch at every regrid
+boundary, even though SAMR adaptation is localized — successive
+hierarchies differ in a handful of patches.  :class:`UnitsReuseCache`
+diffs each snapshot against the previous one
+(:func:`repro.amr.diff.diff_hierarchies`) and:
+
+- **identical** hierarchy → the cached workload map and unit arrays are
+  returned outright;
+- **compatible, localized** change (dirty fraction at most
+  :data:`REUSE_DIRTY_THRESHOLD`) → the workload map is updated only in
+  the dirty region (:func:`repro.amr.workload.update_composite_load_map`)
+  and the unit geometry (lattice coordinates, curve order/positions) is
+  shared from the cached units, re-block-summing only the loads;
+- **compatible, widespread** change (e.g. heterogeneous physics retuning
+  every patch's ``load_per_cell``, as the RM3D load field does) → the
+  masked re-accumulation would touch most of the grid anyway, so the map
+  is recomputed through the full vectorized path, but the unit geometry
+  is still reused;
+- **incompatible** change (domain or refinement-ratio change) → full
+  recompute, exactly as without the cache.
+
+Every path is bit-identical to the full recompute — proven by the
+incremental differential suite — so enabling the cache cannot change a
+single byte of a :class:`~repro.execsim.simulator.RunResult`.
+
+Observability:
+``execsim.reuse_hits{kind=identical|incremental|geometry|workload}`` and
+``execsim.reuse_misses{reason=first|incompatible}`` counters, plus an
+``execsim.dirty_fraction_pct`` histogram of how much of the base grid
+each compatible transition invalidated.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.amr.diff import diff_hierarchies
+from repro.amr.hierarchy import GridHierarchy
+from repro.amr.workload import (
+    WorkloadMap,
+    composite_load_map,
+    update_composite_load_map,
+)
+from repro.partitioners.units import (
+    CompositeUnits,
+    rebuild_units,
+    units_from_map,
+)
+
+__all__ = ["REUSE_DIRTY_THRESHOLD", "UnitsReuseCache"]
+
+#: dirty fraction above which the incremental masked re-accumulation is
+#: abandoned for the full vectorized map recompute (geometry still
+#: reused).  The masked path walks patches in Python and only pays off
+#: when most cells are clean.
+REUSE_DIRTY_THRESHOLD = 0.5
+
+
+class UnitsReuseCache:
+    """Reuses workload maps and unit arrays across regrid intervals.
+
+    One instance serves one simulated run (the simulator constructs a
+    fresh cache per :meth:`~repro.execsim.simulator.ExecutionSimulator.run`
+    call, so results never depend on what ran before).
+    """
+
+    def __init__(self) -> None:
+        self._hierarchy: GridHierarchy | None = None
+        self._wmap: WorkloadMap | None = None
+        #: units built against the *current* workload map
+        self._units: dict[tuple[int, str], CompositeUnits] = {}
+        #: units built against a superseded map — geometry donors only
+        self._stale_units: dict[tuple[int, str], CompositeUnits] = {}
+        self.hits = 0
+        self.misses = 0
+        self.intervals = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _hit(self, kind: str) -> None:
+        self.hits += 1
+        obs.counter("execsim.reuse_hits", kind=kind).inc()
+
+    def _miss(self, reason: str) -> None:
+        self.misses += 1
+        obs.counter("execsim.reuse_misses", reason=reason).inc()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of interval requests served from the cache."""
+        if self.intervals == 0:
+            return 0.0
+        return self.hits / self.intervals
+
+    # -- the lookup --------------------------------------------------------------
+
+    def units_for(
+        self,
+        hierarchy: GridHierarchy,
+        *,
+        granularity: int,
+        curve: str = "hilbert",
+    ) -> CompositeUnits:
+        """Units for ``hierarchy``, reusing prior work where possible."""
+        self.intervals += 1
+        key = (int(granularity), curve)
+
+        if self._hierarchy is None:
+            self._full_rebuild(hierarchy, "first")
+        elif hierarchy is self._hierarchy:
+            self._hit("identical")
+        else:
+            diff = diff_hierarchies(self._hierarchy, hierarchy)
+            if not diff.compatible:
+                self._full_rebuild(hierarchy, "incompatible")
+            elif diff.identical:
+                self._hierarchy = hierarchy
+                self._hit("identical")
+            else:
+                frac = diff.dirty_fraction
+                obs.histogram("execsim.dirty_fraction_pct").observe(
+                    100.0 * frac
+                )
+                if frac <= REUSE_DIRTY_THRESHOLD:
+                    self._wmap = update_composite_load_map(
+                        self._wmap, hierarchy, diff.dirty_mask
+                    )
+                    kind = "incremental"
+                else:
+                    # Mostly dirty: the full vectorized recompute is
+                    # cheaper than a masked Python re-accumulation, and
+                    # trivially bit-identical to it.  Geometry (curve
+                    # order, lattice coords, adjacency) is still reused.
+                    self._wmap = composite_load_map(hierarchy)
+                    kind = "geometry"
+                self._hierarchy = hierarchy
+                self._stale_units = self._units
+                self._units = {}
+                self._hit(kind)
+
+        units = self._units.get(key)
+        if units is None:
+            donor = self._stale_units.get(key)
+            if donor is not None:
+                units = rebuild_units(donor, self._wmap)
+            else:
+                if self._units or self._stale_units:
+                    # New (granularity, curve) against a reused map.
+                    obs.counter("execsim.reuse_hits", kind="workload").inc()
+                units = units_from_map(
+                    self._wmap, granularity=key[0], curve=key[1]
+                )
+            self._units[key] = units
+        return units
+
+    def _full_rebuild(self, hierarchy: GridHierarchy, reason: str) -> None:
+        self._wmap = composite_load_map(hierarchy)
+        self._hierarchy = hierarchy
+        self._units = {}
+        self._stale_units = {}
+        self._miss(reason)

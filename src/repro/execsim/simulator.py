@@ -22,7 +22,8 @@ import numpy as np
 from repro import obs
 from repro.amr.trace import AdaptationTrace
 from repro.obs.timeline import StepSample
-from repro.execsim.costmodel import CostModel
+from repro.execsim.costmodel import CostModel, per_step_comm_times
+from repro.execsim.reuse import UnitsReuseCache
 from repro.execsim.selector import PartitionerSelector, SelectorDecision
 from repro.gridsys.cluster import Cluster
 from repro.partitioners.base import Partition
@@ -39,71 +40,6 @@ __all__ = [
     "ExecutionSimulator",
     "per_step_comm_times",
 ]
-
-
-def per_step_comm_times(
-    partition: Partition, cost: CostModel, bandwidth: float
-) -> tuple[np.ndarray, float]:
-    """Per-processor ghost-communication seconds for one coarse step.
-
-    Returns ``(comm_per_step, ghost_work)`` where ``ghost_work`` is the
-    partitioner-dependent redundant-update volume (AMR-efficiency
-    accounting) — callers add the hierarchy-intrinsic term themselves.
-    The communication model: cut-face ghost volume (load-density weighted)
-    over the link bandwidth, plus per-neighbor message latency scaled by
-    the partitioner's message-aggregation factor.
-    """
-    num_procs = partition.num_procs
-    units = partition.units
-    i, j, axis = units.adjacency_arrays()
-    comm_bytes = np.zeros(num_procs)
-    neighbor_count = np.zeros(num_procs)
-    ghost_work = 0.0
-    if i.size:
-        oi = partition.assignment[i]
-        oj = partition.assignment[j]
-        cut = oi != oj
-        if cut.any():
-            shapes = units.unit_shapes()
-            cells = shapes.prod(axis=1).astype(float)
-            density = units.loads / np.maximum(cells, 1.0)
-            other = np.array([[1, 2], [0, 2], [0, 1]])
-            face = np.empty(i.size, dtype=float)
-            for ax in range(3):
-                sel = axis == ax
-                if sel.any():
-                    o1, o2 = other[ax]
-                    a = np.minimum(shapes[i[sel], o1], shapes[j[sel], o1])
-                    b = np.minimum(shapes[i[sel], o2], shapes[j[sel], o2])
-                    face[sel] = a * b
-            vol = (
-                face[cut]
-                * 0.5
-                * (density[i[cut]] + density[j[cut]])
-                * cost.ghost_width
-            )
-            byts = vol * cost.bytes_per_comm_unit
-            # Redundant ghost updates (AMR-efficiency accounting) are
-            # geometric: cut faces times ghost width, unweighted.
-            ghost_work = float(face[cut].sum()) * cost.ghost_width
-            np.add.at(comm_bytes, oi[cut], byts)
-            np.add.at(comm_bytes, oj[cut], byts)
-            # Distinct neighbor processors per processor.
-            pairs = np.unique(
-                np.stack(
-                    [np.minimum(oi[cut], oj[cut]), np.maximum(oi[cut], oj[cut])],
-                    axis=1,
-                ),
-                axis=0,
-            )
-            np.add.at(neighbor_count, pairs[:, 0], 1.0)
-            np.add.at(neighbor_count, pairs[:, 1], 1.0)
-    msg_factor = float(partition.params.get("messages_per_neighbor", 3.0))
-    comm_per_step = (
-        comm_bytes / bandwidth
-        + cost.latency_per_neighbor * neighbor_count * msg_factor
-    )
-    return comm_per_step, ghost_work
 
 
 @dataclass(frozen=True, slots=True)
@@ -255,6 +191,7 @@ class ExecutionSimulator:
         capacities: np.ndarray | None = None,
         partition_time_scale: float = 1.0,
         fault_tolerance: FaultTolerance | bool | None = None,
+        incremental: bool = True,
     ) -> None:
         """``fault_tolerance`` controls the rollback/repartition path.
 
@@ -264,6 +201,13 @@ class ExecutionSimulator:
         latency / checkpoint costs (or to force checkpoint charging on a
         failure-free cluster), or ``False`` to disable recovery entirely —
         failed processors then stall the run until they are repaired.
+
+        ``incremental`` enables the regrid reuse cache
+        (:class:`~repro.execsim.reuse.UnitsReuseCache`): successive
+        snapshots are diffed and unchanged workload/unit arrays are
+        reused instead of rebuilt from scratch.  The incremental path is
+        bit-identical to full recomputation (proven by the differential
+        suite); disable it only to measure its benefit.
         """
         self.cluster = cluster
         self.num_procs = num_procs or cluster.num_nodes
@@ -278,6 +222,7 @@ class ExecutionSimulator:
         if fault_tolerance is True:
             fault_tolerance = FaultTolerance()
         self.fault_tolerance = fault_tolerance
+        self.incremental = incremental
 
     def _resolve_fault_tolerance(self) -> FaultTolerance | None:
         if self.fault_tolerance is False:
@@ -325,6 +270,7 @@ class ExecutionSimulator:
         prev_partition: Partition | None = None
         sim_time = 0.0
         prev_step_cost: float | None = None
+        reuse_cache = UnitsReuseCache() if self.incremental else None
 
         with obs.span("execsim.run", snapshots=len(trace)):
             for idx, snap in enumerate(trace):
@@ -360,10 +306,17 @@ class ExecutionSimulator:
                         live = detector.live_nodes(sim_time)
 
                 with obs.span("partition", partitioner=label):
-                    units = build_units(
-                        snap.hierarchy, granularity=decision.granularity,
-                        curve="hilbert",
-                    )
+                    if reuse_cache is not None:
+                        units = reuse_cache.units_for(
+                            snap.hierarchy,
+                            granularity=decision.granularity,
+                            curve="hilbert",
+                        )
+                    else:
+                        units = build_units(
+                            snap.hierarchy, granularity=decision.granularity,
+                            curve="hilbert",
+                        )
                     partition = self._partition_over(decision, units, live)
                     metrics = evaluate_partition(partition, prev_partition)
 

@@ -12,7 +12,10 @@ for its inner loops:
 - :mod:`repro.kernels.pbd` — p-way binary dissection of the load cube
   (explicit stack instead of recursion),
 - :mod:`repro.kernels.workload` — composite load-map accumulation
-  (per-level bucketed scatter instead of per-patch slice arithmetic).
+  (per-level bucketed scatter instead of per-patch slice arithmetic),
+- :mod:`repro.kernels.costmodel` — the execution simulator's
+  communication cost terms (bincount scatters over the adjacency
+  arrays instead of a per-pair Python loop).
 
 Every kernel is a drop-in replacement for a scalar reference
 implementation that stays in the owning module; the pair is selected by
@@ -21,13 +24,15 @@ the process-wide *backend*:
 - ``REPRO_KERNELS=vector`` (the default) — vectorized kernels,
 - ``REPRO_KERNELS=scalar`` — the original scalar loops.
 
-The two backends are **bit-identical**: the differential suite in
-``tests/test_kernels.py`` proves equal owner arrays against the frozen
-scalar oracle under ``tests/reference/`` over randomized and golden
-corpora, and the property suite in ``tests/test_partitioner_properties.py``
-checks the partition invariants under both.  ``python -m repro
-kernels-bench`` times each kernel pair on sized inputs and writes
-``BENCH_kernels.json`` (see :mod:`repro.kernels.bench`).
+The two backends are **bit-identical**: the differential suites in
+``tests/test_kernels.py`` and ``tests/test_execsim_kernels.py`` prove
+equal outputs against the frozen scalar oracles under
+``tests/reference/`` over randomized and golden corpora, and the
+property suite in ``tests/test_partitioner_properties.py`` checks the
+partition invariants under both.  ``python -m repro kernels-bench`` and
+``python -m repro execsim-bench`` time each kernel pair on sized inputs
+and write ``BENCH_kernels.json`` / ``BENCH_execsim.json`` (see
+:mod:`repro.kernels.bench`, :mod:`repro.execsim.bench`).
 """
 
 from __future__ import annotations

@@ -27,15 +27,14 @@ DEFAULT_SECONDS_PER_UNIT = 1e-7
 def deterministic_partition_time(
     seconds_per_unit: float = DEFAULT_SECONDS_PER_UNIT,
 ):
-    """Scope within which partition timing is modeled, not measured.
+    """Scope overriding the modeled per-unit partition cost.
 
-    ``Partition.partition_time`` is normally the measured wall-clock of
-    the assignment — faithful to the paper's system-sensitive design,
-    but a source of run-to-run noise because the execution simulator
-    folds it into simulated runtime.  Inside this context the cost is
-    modeled as ``seconds_per_unit * len(units)``, making every
-    simulator-based result bit-reproducible; the scenario sweep engine
-    (:mod:`repro.sweep`) wraps each scenario run in it.
+    ``Partition.partition_time`` is modeled as
+    ``seconds_per_unit * len(units)`` by default (see
+    :meth:`Partitioner.partition`), so this context is only needed to
+    *change* the per-unit cost — e.g. the scenario sweep engine
+    (:mod:`repro.sweep`) pins it explicitly so sweep digests are
+    insensitive to any future default change.
     """
     global _MODELED_SECONDS_PER_UNIT
     prev = _MODELED_SECONDS_PER_UNIT
@@ -55,8 +54,9 @@ class Partition:
     """An assignment of composite units to processors.
 
     ``assignment[i]`` is the owner of the unit at curve position ``i``.
-    ``partition_time`` is the wall-clock cost of computing the partition —
-    one of the paper's five quality components.
+    ``partition_time`` is the cost of computing the partition — one of
+    the paper's five quality components; modeled (deterministic) unless
+    the caller asked :meth:`Partitioner.partition` to measure wall clock.
     """
 
     units: CompositeUnits
@@ -173,12 +173,22 @@ class Partitioner(abc.ABC):
         units: CompositeUnits,
         num_procs: int,
         capacities: np.ndarray | None = None,
+        *,
+        measure_wall_clock: bool = False,
     ) -> Partition:
         """Partition ``units`` over ``num_procs`` processors.
 
         ``capacities`` are optional relative processor capacities; most
         partitioners target equal shares and ignore them (the
         heterogeneous partitioner is the exception).
+
+        ``partition_time`` is *modeled* (``seconds_per_unit * len(units)``,
+        see :func:`deterministic_partition_time`) so that two identical
+        calls return identical partitions — the execution simulator folds
+        this time into simulated runtime, and measured wall clock made
+        every downstream result nondeterministic.  Pass
+        ``measure_wall_clock=True`` to opt back into real timing (profiling
+        only; never inside reproducibility-gated paths).
         """
         if num_procs < 1:
             raise PartitionError(f"num_procs must be >= 1, got {num_procs}")
@@ -195,10 +205,15 @@ class Partitioner(abc.ABC):
                 raise PartitionError("capacities must be non-negative, sum > 0")
         t0 = time.perf_counter()
         assignment = self._assign(units, num_procs, capacities)
-        if _MODELED_SECONDS_PER_UNIT is not None:
-            elapsed = _MODELED_SECONDS_PER_UNIT * len(units)
-        else:
+        if measure_wall_clock:
             elapsed = time.perf_counter() - t0
+        else:
+            per_unit = (
+                _MODELED_SECONDS_PER_UNIT
+                if _MODELED_SECONDS_PER_UNIT is not None
+                else DEFAULT_SECONDS_PER_UNIT
+            )
+            elapsed = per_unit * len(units)
         return Partition(
             units=units,
             num_procs=num_procs,

@@ -14,12 +14,35 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.amr.box import Box
 from repro.amr.hierarchy import GridHierarchy
 from repro.amr.workload import WorkloadMap, composite_load_map
 from repro.sfc import CURVES, curve_order, curve_rank_of_cells
 
-__all__ = ["CompositeUnits", "build_units"]
+__all__ = [
+    "CompositeUnits",
+    "build_units",
+    "clear_adjacency_memo",
+    "rebuild_units",
+    "units_from_map",
+]
+
+#: memoized (grid_shape, curve) → (i, j, axis) adjacency arrays.  The
+#: lattice adjacency and curve positions are pure functions of the unit
+#: lattice shape and curve choice, yet the cost-model and PAC-metric
+#: paths rebuilt them (through Python tuple lists) at every regrid
+#: interval.  Arrays are read-only; the memo is bounded FIFO.
+_ADJ_MEMO: dict[
+    tuple[tuple[int, int, int], str],
+    tuple[np.ndarray, np.ndarray, np.ndarray],
+] = {}
+_ADJ_MEMO_MAX = 64
+
+
+def clear_adjacency_memo() -> None:
+    """Drop all memoized adjacency arrays (mainly for tests)."""
+    _ADJ_MEMO.clear()
 
 
 @dataclass(slots=True)
@@ -72,26 +95,43 @@ class CompositeUnits:
 
         Each lattice face is reported once (from the lower neighbor).
         """
-        nx, ny, nz = self.grid_shape
-        out: list[tuple[int, int, int]] = []
+        i, j, axis = self.adjacency_arrays()
+        return list(zip(i.tolist(), j.tolist(), axis.tolist()))
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized adjacency: (i, j, axis) arrays of curve positions.
+
+        Pure function of ``(grid_shape, curve)``, memoized process-wide —
+        the returned arrays are read-only (copy before mutating).
+        """
+        memo_key = (self.grid_shape, self.curve)
+        cached = _ADJ_MEMO.get(memo_key)
+        if cached is not None:
+            obs.counter("units.adjacency_memo", outcome="hit").inc()
+            return cached
+        obs.counter("units.adjacency_memo", outcome="miss").inc()
         lat = self.curve_position.reshape(self.grid_shape)
+        ii: list[np.ndarray] = []
+        jj: list[np.ndarray] = []
+        aa: list[np.ndarray] = []
         for axis in range(3):
             sl_lo = [slice(None)] * 3
             sl_hi = [slice(None)] * 3
             sl_lo[axis] = slice(0, self.grid_shape[axis] - 1)
             sl_hi[axis] = slice(1, self.grid_shape[axis])
             a = lat[tuple(sl_lo)].ravel()
-            b = lat[tuple(sl_hi)].ravel()
-            out.extend(zip(a.tolist(), b.tolist(), [axis] * len(a)))
-        return out
-
-    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Vectorized adjacency: (i, j, axis) arrays of curve positions."""
-        pairs = self.neighbors_in_curve_order()
-        if not pairs:
-            return (np.zeros(0, int), np.zeros(0, int), np.zeros(0, int))
-        arr = np.asarray(pairs, dtype=int)
-        return arr[:, 0], arr[:, 1], arr[:, 2]
+            ii.append(a)
+            jj.append(lat[tuple(sl_hi)].ravel())
+            aa.append(np.full(a.size, axis, dtype=int))
+        i = np.concatenate(ii).astype(int, copy=False)
+        j = np.concatenate(jj).astype(int, copy=False)
+        axis_arr = np.concatenate(aa)
+        for arr in (i, j, axis_arr):
+            arr.setflags(write=False)
+        while len(_ADJ_MEMO) >= _ADJ_MEMO_MAX:
+            _ADJ_MEMO.pop(next(iter(_ADJ_MEMO)))
+        _ADJ_MEMO[memo_key] = (i, j, axis_arr)
+        return i, j, axis_arr
 
 
 def build_units(
@@ -114,21 +154,31 @@ def build_units(
         wmap = composite_load_map(hierarchy_or_map)
     else:
         wmap = hierarchy_or_map
-    domain = wmap.domain
-    shape = domain.shape
-    g = granularity
-    grid_shape = tuple(-(-s // g) for s in shape)
+    return units_from_map(wmap, granularity=granularity, curve=curve)
 
-    # Block-sum the load map onto the unit lattice (pad to a multiple of g).
+
+def _block_loads(wmap: WorkloadMap, g: int) -> np.ndarray:
+    """Block-sum the load map onto the unit lattice (pad to a multiple of g)."""
+    shape = wmap.domain.shape
+    grid_shape = tuple(-(-s // g) for s in shape)
     padded_shape = tuple(n * g for n in grid_shape)
     if padded_shape != shape:
         padded = np.zeros(padded_shape)
         padded[: shape[0], : shape[1], : shape[2]] = wmap.values
     else:
         padded = wmap.values
-    block_loads = padded.reshape(
+    return padded.reshape(
         grid_shape[0], g, grid_shape[1], g, grid_shape[2], g
     ).sum(axis=(1, 3, 5))
+
+
+def units_from_map(
+    wmap: WorkloadMap, *, granularity: int, curve: str
+) -> CompositeUnits:
+    """Build :class:`CompositeUnits` from a precomputed workload map."""
+    g = granularity
+    block_loads = _block_loads(wmap, g)
+    grid_shape = block_loads.shape
 
     # Curve order over lattice coordinates (memoized by shape + curve).
     nx, ny, nz = grid_shape
@@ -140,7 +190,7 @@ def build_units(
     curve_position = curve_rank_of_cells(grid_shape, curve)
 
     return CompositeUnits(
-        domain=domain,
+        domain=wmap.domain,
         granularity=g,
         curve=curve,
         grid_shape=grid_shape,  # type: ignore[arg-type]
@@ -148,4 +198,28 @@ def build_units(
         loads=block_loads.ravel()[order],
         lattice_index=order,
         curve_position=curve_position,
+    )
+
+
+def rebuild_units(cached: CompositeUnits, wmap: WorkloadMap) -> CompositeUnits:
+    """Rebuild units against a new load map, reusing cached geometry.
+
+    The lattice coordinates, curve ordering, and curve positions of
+    ``cached`` are pure functions of (domain, granularity, curve) and are
+    shared with the returned object; only the block-summed loads are
+    recomputed — through the same :func:`_block_loads` routine the full
+    build uses, so the result is bit-identical to ``units_from_map``.
+    """
+    if wmap.domain != cached.domain:
+        raise ValueError("rebuild_units requires an unchanged domain")
+    block_loads = _block_loads(wmap, cached.granularity)
+    return CompositeUnits(
+        domain=cached.domain,
+        granularity=cached.granularity,
+        curve=cached.curve,
+        grid_shape=cached.grid_shape,
+        ijk=cached.ijk,
+        loads=block_loads.ravel()[cached.lattice_index],
+        lattice_index=cached.lattice_index,
+        curve_position=cached.curve_position,
     )

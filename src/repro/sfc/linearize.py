@@ -27,12 +27,15 @@ CURVES: dict[str, Callable] = {
 
 #: memoized (shape, curve) → read-only permutation; bounded FIFO
 _ORDER_MEMO: dict[tuple[tuple[int, int, int], str], np.ndarray] = {}
+#: memoized (shape, curve) → read-only inverse permutation (rank array)
+_RANK_MEMO: dict[tuple[tuple[int, int, int], str], np.ndarray] = {}
 _ORDER_MEMO_MAX = 64
 
 
 def clear_curve_memo() -> None:
     """Drop all memoized curve permutations (mainly for tests)."""
     _ORDER_MEMO.clear()
+    _RANK_MEMO.clear()
 
 
 def _bits_for(shape: Sequence[int]) -> int:
@@ -81,8 +84,20 @@ def curve_order(shape: Sequence[int], curve: str = "hilbert") -> np.ndarray:
 
 
 def curve_rank_of_cells(shape: Sequence[int], curve: str = "hilbert") -> np.ndarray:
-    """Inverse permutation: flat C-order cell index → rank along the curve."""
+    """Inverse permutation: flat C-order cell index → rank along the curve.
+
+    Memoized alongside :func:`curve_order` (the inverse scatter was
+    recomputed on every regrid interval); read-only like the order.
+    """
     order = curve_order(shape, curve)
+    memo_key = (tuple(int(s) for s in shape), curve)
+    cached = _RANK_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
     rank = np.empty_like(order)
     rank[order] = np.arange(order.size)
+    rank.setflags(write=False)
+    while len(_RANK_MEMO) >= _ORDER_MEMO_MAX:
+        _RANK_MEMO.pop(next(iter(_RANK_MEMO)))
+    _RANK_MEMO[memo_key] = rank
     return rank

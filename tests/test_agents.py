@@ -50,6 +50,46 @@ class TestMessageCenter:
         assert dl.message.dest == "nope"
         assert mc.delivered_count == 0
 
+    def test_dead_letter_queue_bounded(self):
+        """A sustained-lossy soak must not grow dead_letters unboundedly."""
+        mc = MessageCenter(dead_letter_capacity=16)
+        mc.register("a")
+        for k in range(100):
+            mc.send(Message(sender="a", dest="nope", topic="t",
+                            payload={"k": k}))
+        assert mc.dead_letter_count == 16
+        assert mc.dead_letters_dropped == 84
+        # oldest letters evicted: the retained window is the newest 16
+        kept = [dl.message.payload["k"] for dl in mc.drain_dead_letters()]
+        assert kept == list(range(84, 100))
+        assert mc.dead_letter_count == 0
+        # the drop count survives a drain — it records history, not state
+        assert mc.dead_letters_dropped == 84
+
+    def test_dead_letter_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MessageCenter(dead_letter_capacity=0)
+
+    def test_sustained_lossy_link_soak(self):
+        """Every send dead-letters on a fully lossy link; memory stays
+        bounded and the dropped counter accounts for the overflow."""
+        from repro.agents.message_center import DeliveryPolicy
+
+        mc = MessageCenter(
+            DeliveryPolicy(loss_rate=0.99, max_retries=1, seed=3),
+            dead_letter_capacity=8,
+        )
+        mc.register("a")
+        mc.register("b")
+        failures = sum(
+            not mc.send(Message(sender="a", dest="b", topic="t"))
+            for _ in range(200)
+        )
+        assert failures > 8
+        assert mc.dead_letter_count == 8
+        assert mc.dead_letters_dropped == failures - 8
+        assert all(dl.reason == "max-retries" for dl in mc.dead_letters)
+
     def test_publish_subscribe_fanout(self):
         mc = MessageCenter()
         for name in ("a", "b", "c"):

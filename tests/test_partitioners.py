@@ -110,6 +110,32 @@ class TestPartitionObject:
         p = PBDISPPartitioner().partition(units, 4)
         assert p.rect_fragments() >= 4
 
+    def test_partition_time_deterministic(self, units):
+        """Two identical calls must return identical partitions — wall
+        clock used to leak into ``partition_time`` and, through the
+        simulator, into every downstream result."""
+        a = ISPPartitioner().partition(units, 5)
+        b = ISPPartitioner().partition(units, 5)
+        assert a.partition_time == b.partition_time
+        assert a.partition_time > 0.0
+
+    def test_partition_time_wall_clock_opt_in(self, units):
+        from repro.partitioners.base import DEFAULT_SECONDS_PER_UNIT
+
+        modeled = ISPPartitioner().partition(units, 5)
+        assert modeled.partition_time == DEFAULT_SECONDS_PER_UNIT * len(units)
+        measured = ISPPartitioner().partition(
+            units, 5, measure_wall_clock=True
+        )
+        assert measured.partition_time != modeled.partition_time
+
+    def test_deterministic_partition_time_overrides_rate(self, units):
+        from repro.partitioners.base import deterministic_partition_time
+
+        with deterministic_partition_time(seconds_per_unit=1e-3):
+            p = ISPPartitioner().partition(units, 5)
+        assert p.partition_time == 1e-3 * len(units)
+
 
 class TestAllPartitioners:
     @pytest.mark.parametrize("cls", ALL_PARTITIONERS)
