@@ -10,8 +10,11 @@ control network.  Asserts the recovery invariants —
 3. recovery lag bounded by detection latency + slack,
 4. the agent-layer application completes over a lossy message center —
 
-and writes the machine-readable sweep document so future PRs have a
-resilience baseline to compare against.
+then runs the gray-failure chaos matrix (fault type × intensity:
+crash / degraded / flapping / partition / checkpoint-corruption cells,
+each gated on its own invariants) and writes both documents into the
+machine-readable snapshot so future PRs have a resilience baseline to
+compare against.
 """
 
 from __future__ import annotations
@@ -22,7 +25,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.resilience.chaos import ChaosConfig, run_chaos
+from repro.resilience.chaos import (
+    ChaosConfig,
+    MatrixConfig,
+    run_chaos,
+    run_chaos_matrix,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SNAPSHOT_PATH = REPO_ROOT / "BENCH_chaos.json"
@@ -67,9 +75,31 @@ def test_chaos_recovery_invariants():
         assert soak["completed"], f"soak seed {soak['seed']} did not finish"
         assert soak["delivered"] > 0
 
-    snapshot = {"bench": "chaos_recovery", "wall_clock_s": wall_s, **result}
+    # Gray-failure matrix: every (fault type × intensity) cell must hold
+    # its invariants — degraded nodes down-weighted but never evacuated,
+    # flap rollbacks bounded by the eviction hysteresis, partitioned sends
+    # dead-lettered exactly, corrupt checkpoints walked back and counted.
+    t0 = time.perf_counter()
+    matrix = run_chaos_matrix(MatrixConfig())
+    matrix_wall_s = time.perf_counter() - t0
+    for cell in matrix["cells"]:
+        failed = [k for k, ok in cell["invariants"].items() if not ok]
+        assert not failed, (
+            f"{cell['fault']}/{cell['intensity']}: violated {failed}"
+        )
+    assert matrix["aggregate"]["all_invariants_hold"]
+    assert matrix["aggregate"]["cells"] == 10
+
+    snapshot = {
+        "bench": "chaos_recovery",
+        "wall_clock_s": wall_s,
+        "matrix_wall_clock_s": matrix_wall_s,
+        "matrix": matrix,
+        **result,
+    }
     SNAPSHOT_PATH.write_text(
         json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
     )
     print(f"\nwrote {SNAPSHOT_PATH}")
     print(json.dumps(result["aggregate"], indent=2))
+    print(json.dumps(matrix["aggregate"], indent=2))

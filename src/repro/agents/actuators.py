@@ -103,6 +103,12 @@ class MigrateActuator(ComponentActuator):
             return False
         if comp.state is ComponentState.DONE:
             return False
+        if comp.state is ComponentState.RUNNING and target == comp.node_id:
+            # Idempotent no-op: a duplicate migration order for a healthy
+            # component already on the target must not count a migration
+            # (dedup upstream can miss — e.g. a re-sent order with a
+            # fresh seq — so the actuator is the last line of defense).
+            return True
         if comp.state is ComponentState.FAILED:
             comp.progress = comp.checkpoint
         comp.node_id = target

@@ -10,10 +10,15 @@ This implementation adds publish/subscribe on topics — the paper's agents
 immediate access to all relevant information" (Section 4.7).
 
 Delivery is resilient: a :class:`DeliveryPolicy` can model lossy links
-(seeded, deterministic), per-send timeouts, and bounded exponential-backoff
-retries.  Undeliverable messages — unknown destination, timeout, or retry
-exhaustion — land on a dead-letter queue instead of raising, so one
-misaddressed message cannot take down the control network.
+(seeded, deterministic), per-send timeouts, bounded exponential-backoff
+retries (optionally with deterministic full jitter), and duplicate
+delivery.  Undeliverable messages — unknown destination, timeout, retry
+exhaustion, or a network partition severing sender from destination —
+land on a dead-letter queue instead of raising, so one misaddressed
+message cannot take down the control network.  Each port suppresses
+re-deliveries of a message id it has already accepted (a bounded
+per-port dedup window), which is what makes retry- and duplicate-prone
+links safe for handlers that are only idempotent per message.
 """
 
 from __future__ import annotations
@@ -24,16 +29,26 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.agents.messages import Message
+from repro.gridsys.failures import NetworkPartition
 
 __all__ = ["DeadLetter", "DeliveryPolicy", "Port", "MessageCenter"]
+
+#: per-port count of recent message ids remembered for duplicate
+#: suppression; ids older than the window can in principle be delivered
+#: twice, but seqs are monotonic so a realistic retry horizon is far
+#: shorter than this
+DEDUP_WINDOW = 1024
 
 
 @dataclass(slots=True)
 class Port:
-    """A named mailbox."""
+    """A named mailbox with a bounded duplicate-suppression window."""
 
     name: str
     mailbox: deque = field(default_factory=deque)
+    #: message seqs already accepted (bounded by :data:`DEDUP_WINDOW`)
+    seen: set = field(default_factory=set)
+    seen_order: deque = field(default_factory=deque)
 
     def __len__(self) -> int:
         return len(self.mailbox)
@@ -65,10 +80,23 @@ class DeliveryPolicy:
     send_timeout: float | None = None
     #: seed for the loss process
     seed: int = 0
+    #: probability a delivered message is delivered a second time (the
+    #: classic at-least-once artifact; the receiving port's dedup window
+    #: suppresses the copy)
+    duplicate_rate: float = 0.0
+    #: full-jitter backoff: each wait is drawn uniformly from [0, capped
+    #: backoff), seeded per (policy seed, message seq, retry) so runs
+    #: stay deterministic.  Off by default — the un-jittered ladder is
+    #: byte-identical to prior releases.
+    backoff_jitter: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1), got {self.duplicate_rate}"
+            )
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.backoff_base < 0 or self.backoff_cap < 0:
@@ -80,9 +108,20 @@ class DeliveryPolicy:
         if self.send_timeout is not None and self.send_timeout <= 0:
             raise ValueError(f"send_timeout must be > 0, got {self.send_timeout}")
 
-    def backoff(self, retry: int) -> float:
-        """Backoff before the ``retry``-th retry (0-based), capped."""
-        return min(self.backoff_base * self.backoff_factor**retry, self.backoff_cap)
+    def backoff(self, retry: int, key: int | None = None) -> float:
+        """Backoff before the ``retry``-th retry (0-based), capped.
+
+        With ``backoff_jitter`` and a ``key`` (the message seq), returns
+        a full-jitter wait: uniform in [0, capped ladder value), drawn
+        from a generator seeded by ``(seed, key, retry)`` — the same
+        message retrying the same attempt always waits the same time, but
+        distinct messages desynchronize instead of thundering together.
+        """
+        bound = min(self.backoff_base * self.backoff_factor**retry, self.backoff_cap)
+        if not self.backoff_jitter or key is None:
+            return bound
+        mix = (self.seed * 1_000_003 + key) * 1_000_003 + retry
+        return bound * random.Random(mix).random()
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,7 +129,7 @@ class DeadLetter:
     """A message the center could not deliver, and why."""
 
     message: Message
-    #: "unregistered-destination", "timeout", or "max-retries"
+    #: "unregistered-destination", "timeout", "max-retries", or "partitioned"
     reason: str
     #: message timestamp at the time of failure
     time: float
@@ -121,8 +160,11 @@ class MessageCenter:
         self._rng = random.Random(self.policy.seed)
         self._ports: dict[str, Port] = {}
         self._subscriptions: dict[str, set[str]] = {}
+        self._members: dict[str, object] = {}
+        self._partitions: list[NetworkPartition] = []
         self._delivered = 0
         self._retries = 0
+        self._duplicates_suppressed = 0
         #: bounded: oldest entries are evicted (and counted in
         #: :attr:`dead_letters_dropped`) once the capacity is reached
         self.dead_letters: deque[DeadLetter] = deque(
@@ -162,6 +204,41 @@ class MessageCenter:
         """True if a mailbox exists for ``name``."""
         return name in self._ports
 
+    # -- network partitions --------------------------------------------------------
+
+    def bind_port(self, name: str, member) -> None:
+        """Place a port on a partition-group member (a node id or label).
+
+        Partition checks apply only between *bound* ports; unbound ports
+        (most tests, loopback agents) are never severed.
+        """
+        if name not in self._ports:
+            raise KeyError(f"no port named {name!r}")
+        self._members[name] = member
+
+    def inject_partition(self, partition: NetworkPartition) -> None:
+        """Sever deliveries across the partition's cut while it is active.
+
+        Sends between bound ports whose members sit in different groups
+        during the partition window dead-letter with reason
+        ``"partitioned"`` — retries cannot cross a cut, so the loss/retry
+        machinery is bypassed entirely.
+        """
+        self._partitions.append(partition)
+
+    def heal_partitions(self) -> None:
+        """Drop every injected partition (the cut is repaired)."""
+        self._partitions.clear()
+
+    def _severed(self, message: Message) -> bool:
+        if not self._partitions:
+            return False
+        a = self._members.get(message.sender)
+        b = self._members.get(message.dest)
+        if a is None or b is None or a == b:
+            return False
+        return any(p.severed(a, b, message.time) for p in self._partitions)
+
     # -- point-to-point -----------------------------------------------------------
 
     def send(self, message: Message) -> bool:
@@ -194,6 +271,9 @@ class MessageCenter:
         if message.dest not in self._ports:
             self._dead_letter(message, "unregistered-destination", attempts=0)
             return False
+        if self._severed(message):
+            self._dead_letter(message, "partitioned", attempts=0)
+            return False
 
         policy = self.policy
         attempts = 1
@@ -203,7 +283,7 @@ class MessageCenter:
             if retry >= policy.max_retries:
                 self._dead_letter(message, "max-retries", attempts=attempts)
                 return False
-            wait = policy.backoff(retry)
+            wait = policy.backoff(retry, key=message.seq)
             if policy.send_timeout is not None and waited + wait > policy.send_timeout:
                 self._dead_letter(message, "timeout", attempts=attempts)
                 return False
@@ -212,11 +292,32 @@ class MessageCenter:
             self._retries += 1
             obs.counter("mc.retries").inc()
 
-        box = self._ports[message.dest].mailbox
-        box.append(message)
+        delivered = self._deliver(message)
+        if (
+            policy.duplicate_rate > 0.0
+            and self._rng.random() < policy.duplicate_rate
+        ):
+            # The link delivered a second copy (at-least-once artifact);
+            # the port's dedup window must absorb it.
+            obs.counter("mc.duplicates_injected").inc()
+            self._deliver(message)
+        return delivered
+
+    def _deliver(self, message: Message) -> bool:
+        """Hand a message to its port, suppressing duplicate seqs."""
+        port = self._ports[message.dest]
+        if message.seq in port.seen:
+            self._duplicates_suppressed += 1
+            obs.counter("mc.duplicates_suppressed").inc()
+            return True
+        port.seen.add(message.seq)
+        port.seen_order.append(message.seq)
+        if len(port.seen_order) > DEDUP_WINDOW:
+            port.seen.discard(port.seen_order.popleft())
+        port.mailbox.append(message)
         self._delivered += 1
         obs.counter("mc.sends").inc()
-        obs.gauge("mc.mailbox_hwm", port=message.dest).set_max(len(box))
+        obs.gauge("mc.mailbox_hwm", port=message.dest).set_max(len(port.mailbox))
         return True
 
     def receive(self, port_name: str) -> Message | None:
@@ -265,6 +366,11 @@ class MessageCenter:
     def retry_count(self) -> int:
         """Total delivery retries since construction (diagnostics)."""
         return self._retries
+
+    @property
+    def duplicates_suppressed_count(self) -> int:
+        """Duplicate deliveries absorbed by port dedup windows."""
+        return self._duplicates_suppressed
 
     # -- publish/subscribe ------------------------------------------------------------
 

@@ -30,6 +30,8 @@ recovery invariant is violated::
 
     python -m repro chaos
     python -m repro chaos --json out.json   # BENCH_chaos.json document
+    python -m repro chaos --matrix          # gray-failure fault matrix
+    python -m repro chaos --matrix --intensity low  # CI smoke subset
 
 ``trace`` — the traced quickstart run as Chrome trace-event JSON, loadable
 directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``::
@@ -197,14 +199,40 @@ def chaos_main(args: argparse.Namespace) -> int:
     """The ``chaos`` verb: Poisson failure sweep -> text or JSON.
 
     Exits non-zero when any recovery invariant is violated, so the sweep
-    doubles as a CI gate.
+    doubles as a CI gate.  With ``--matrix`` it runs the gray-failure
+    fault matrix (fault type × intensity) instead of the Poisson sweep.
     """
     from repro.resilience.chaos import ChaosConfig, render_chaos, run_chaos
 
+    if args.matrix:
+        from repro.resilience.chaos import (
+            INTENSITIES,
+            MatrixConfig,
+            render_chaos_matrix,
+            run_chaos_matrix,
+        )
+
+        intensities = (
+            tuple(args.intensity) if args.intensity else INTENSITIES
+        )
+        config = MatrixConfig(
+            num_procs=args.procs if args.procs is not None else 8,
+            num_coarse_steps=args.steps if args.steps is not None else 48,
+            intensities=intensities,
+            seed=args.seed,
+        )
+        print("running the gray-failure chaos matrix ...", file=sys.stderr)
+        result = run_chaos_matrix(config)
+        if args.json is None:
+            print(render_chaos_matrix(result))
+        else:
+            _emit(result, args.json)
+        return 0 if result["aggregate"]["all_invariants_hold"] else 1
+
     seeds = args.seeds if args.seeds else [args.seed + k for k in range(3)]
     config = ChaosConfig(
-        num_procs=args.procs,
-        num_coarse_steps=args.steps,
+        num_procs=args.procs if args.procs is not None else 16,
+        num_coarse_steps=args.steps if args.steps is not None else 96,
         mtbf=args.mtbf,
         mttr=args.mttr,
         seeds=tuple(seeds),
@@ -411,12 +439,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: --seed, --seed+1, --seed+2)",
     )
     p_chaos.add_argument(
-        "--steps", type=int, default=96,
-        help="coarse steps per replay (default 96)",
+        "--steps", type=int, default=None,
+        help="coarse steps per replay (default 96; 48 with --matrix)",
     )
     p_chaos.add_argument(
-        "--procs", type=int, default=16,
-        help="processors in the simulated cluster (default 16)",
+        "--procs", type=int, default=None,
+        help="processors in the simulated cluster (default 16; 8 with "
+        "--matrix)",
+    )
+    p_chaos.add_argument(
+        "--matrix", action="store_true",
+        help="run the gray-failure fault matrix (crash / degraded / "
+        "flapping / partition / checkpoint x intensity) instead of the "
+        "Poisson sweep",
+    )
+    p_chaos.add_argument(
+        "--intensity", choices=("low", "high"), nargs="+", default=None,
+        help="restrict --matrix to these intensities (default: both)",
     )
     p_chaos.add_argument(
         "--mtbf", type=float, default=300.0,

@@ -10,6 +10,20 @@ processors (through the system-sensitive capacity path when capacities
 are configured), and resumption.  Committed compute/comm time covers only
 work that survived; everything lost to failures (rolled-back attempts,
 restores, repartitions, stalls) is accounted as recovery time.
+
+Gray failures get a *proportional* response instead of the full rollback:
+
+- a node inside a :class:`~repro.gridsys.failures.DegradedWindow` keeps
+  its work but the partition is re-weighted through the capacity-weighted
+  sequence split, shrinking its share by the detector-perceived factor —
+  degraded nodes are down-weighted, never evacuated;
+- with ``eviction_hysteresis_polls > 0`` a suspect node is not evacuated
+  until its outage also outlasts the hysteresis, so flapping nodes stall
+  the interval briefly (counted under ``resilience.flap_suppressed``)
+  instead of triggering a rollback per flap;
+- with ``FaultTolerance.checkpoint_dir`` set, checkpoints are persisted
+  through the crash-consistent
+  :class:`~repro.resilience.DurableCheckpointStore`.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from repro.partitioners.metrics import PACMetrics, evaluate_partition
 from repro.partitioners.units import build_units
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.detector import FailureDetector
+from repro.resilience.durable import DurableCheckpointStore
 from repro.resilience.recovery import FaultTolerance, RecoveryRecord
 from repro.util.stats import max_load_imbalance_pct
 
@@ -228,7 +243,8 @@ class ExecutionSimulator:
         if self.fault_tolerance is False:
             return None
         if self.fault_tolerance is None:
-            return FaultTolerance() if self.cluster.failures.events else None
+            faults = self.cluster.failures
+            return FaultTolerance() if (faults.events or faults.degraded) else None
         return self.fault_tolerance
 
     def run(
@@ -260,11 +276,24 @@ class ExecutionSimulator:
             total_steps = steps[-1] + interval
 
         ft = self._resolve_fault_tolerance()
-        resilient = ft is not None and bool(self.cluster.failures.events)
+        resilient = ft is not None and bool(
+            self.cluster.failures.events or self.cluster.failures.degraded
+        )
         detector = (
             FailureDetector(self.cluster, ft.detector) if resilient else None
         )
-        ckpt_store = CheckpointStore(ft.checkpoint) if ft is not None else None
+        # Incremental replay regrids one hierarchy in place, so checkpoints
+        # must deep-copy or a restore would return post-mutation state.
+        if ft is None:
+            ckpt_store = None
+        elif ft.checkpoint_dir is not None:
+            ckpt_store = DurableCheckpointStore(
+                ft.checkpoint_dir, ft.checkpoint, deep_copy=self.incremental
+            )
+        else:
+            ckpt_store = CheckpointStore(
+                ft.checkpoint, deep_copy=self.incremental
+            )
 
         result = RunResult(proc_work=np.zeros(self.num_procs))
         prev_partition: Partition | None = None
@@ -293,7 +322,7 @@ class ExecutionSimulator:
                     live = detector.live_nodes(sim_time)
                     if not live:
                         t_ret = min(
-                            detector.next_detected_alive(p, sim_time)
+                            detector.next_evictable_alive(p, sim_time)
                             for p in range(self.num_procs)
                         )
                         if math.isinf(t_ret):
@@ -317,7 +346,14 @@ class ExecutionSimulator:
                             snap.hierarchy, granularity=decision.granularity,
                             curve="hilbert",
                         )
-                    partition = self._partition_over(decision, units, live)
+                    weights = (
+                        self._degraded_weights(detector, sim_time)
+                        if resilient
+                        else None
+                    )
+                    partition = self._partition_over(
+                        decision, units, live, weights
+                    )
                     metrics = evaluate_partition(partition, prev_partition)
 
                 # Coordinated checkpoint at the regrid boundary.
@@ -460,11 +496,30 @@ class ExecutionSimulator:
 
     # -- partitioning over survivors ---------------------------------------------------
 
+    def _degraded_weights(
+        self, detector: FailureDetector, t: float
+    ) -> np.ndarray | None:
+        """Per-processor capacity down-weights the detector perceives at ``t``.
+
+        ``None`` when no degraded window is visible — the common case, so
+        the partition call stays byte-identical to the non-gray path.
+        """
+        if not self.cluster.failures.degraded:
+            return None
+        w = np.array(
+            [
+                detector.detected_capacity_factor(p, t)
+                for p in range(self.num_procs)
+            ]
+        )
+        return w if np.any(w < 1.0) else None
+
     def _partition_over(
         self,
         decision: SelectorDecision,
         units,
         live: list[int] | None = None,
+        weights: np.ndarray | None = None,
     ) -> Partition:
         """Partition ``units``, restricted to the ``live`` processors.
 
@@ -473,14 +528,26 @@ class ExecutionSimulator:
         system-sensitive capacities restricted to them when configured —
         and the assignment is mapped back to global processor ids, so
         every unit is owned by a live processor by construction.
+
+        ``weights`` (detector-perceived capacity factors, 1.0 = healthy)
+        is the gray-failure response: when any processor is down-weighted
+        the split is forced through the capacity-weighted sequence path —
+        most partitioners ignore capacities, and a degraded node must
+        shed load *without* being evacuated.
         """
         if live is not None and not live:
             raise RuntimeError("no live processors to partition over")
         if live is None or len(live) == self.num_procs:
-            return decision.partitioner.partition(
-                units, self.num_procs, self.capacities
+            if weights is None:
+                return decision.partitioner.partition(
+                    units, self.num_procs, self.capacities
+                )
+            return self._weighted_partition(
+                decision, units, np.arange(self.num_procs), weights
             )
         live_arr = np.asarray(sorted(live), dtype=int)
+        if weights is not None:
+            return self._weighted_partition(decision, units, live_arr, weights)
         caps = None
         if self.capacities is not None:
             caps = np.asarray(self.capacities, dtype=float)[live_arr]
@@ -491,6 +558,50 @@ class ExecutionSimulator:
         params["degraded"] = True
         params["live_procs"] = [int(p) for p in live_arr]
         obs.counter("resilience.degraded_partitions").inc()
+        return Partition(
+            units=units,
+            num_procs=self.num_procs,
+            assignment=live_arr[sub.assignment],
+            partitioner_name=sub.partitioner_name,
+            partition_time=sub.partition_time,
+            params=params,
+        )
+
+    def _weighted_partition(
+        self,
+        decision: SelectorDecision,
+        units,
+        live_arr: np.ndarray,
+        weights: np.ndarray,
+    ) -> Partition:
+        """Capacity-weighted split over ``live_arr`` with gray down-weights.
+
+        Routes through :class:`HeterogeneousPartitioner` (the
+        system-sensitive path) with effective capacities = configured
+        capacities × detector down-weights, then maps back to global
+        processor ids.  Keeps the selector's decision label/granularity
+        semantics out of scope on purpose: proportional load shedding
+        matters more than the partitioner flavor while a node is gray.
+        """
+        from repro.partitioners.hetero import HeterogeneousPartitioner
+
+        base = (
+            np.asarray(self.capacities, dtype=float)
+            if self.capacities is not None
+            else np.ones(self.num_procs)
+        )
+        caps = (base * np.asarray(weights, dtype=float))[live_arr]
+        if caps.sum() <= 0:
+            caps = np.ones(len(live_arr))
+        sub = HeterogeneousPartitioner().partition(units, len(live_arr), caps)
+        params = dict(sub.params)
+        params["degraded_downweight"] = True
+        params["live_procs"] = [int(p) for p in live_arr]
+        params["capacity_weights"] = [float(w) for w in weights[live_arr]]
+        obs.counter("resilience.degraded_downweights").inc()
+        if len(live_arr) < self.num_procs:
+            params["degraded"] = True
+            obs.counter("resilience.degraded_partitions").inc()
         return Partition(
             units=units,
             num_procs=self.num_procs,
@@ -540,7 +651,11 @@ class ExecutionSimulator:
         total_comp = 0.0
         total_comm = 0.0
         t = t0
-        static_speeds = self.cluster.loadgen is None and not self.cluster.failures.events
+        static_speeds = (
+            self.cluster.loadgen is None
+            and not self.cluster.failures.events
+            and not self.cluster.failures.degraded
+        )
 
         def step_times(speeds: np.ndarray) -> tuple[float, float]:
             comp = np.zeros(self.num_procs)
@@ -621,13 +736,15 @@ class ExecutionSimulator:
         """Fault-tolerant interval execution.
 
         Runs the interval's coarse steps with failure detection at every
-        step boundary.  A declared failure rolls the interval back to the
-        checkpoint taken at its regrid boundary, redistributes over the
-        survivors, and re-executes; an undeclared outage (true failure the
-        lease has not yet expired on, or one too short to ever expire it)
-        stalls execution.  Returns ``(compute, comm, ghost, recovery
-        seconds, final partition, recovery records, final live set)`` —
-        compute/comm cover only the committed attempt.
+        step boundary.  An *evictable* failure (one that outlasted both
+        the lease and the eviction hysteresis) rolls the interval back to
+        the checkpoint taken at its regrid boundary, redistributes over
+        the survivors, and re-executes; an undeclared or merely-suspect
+        outage (lease not expired, hysteresis still accruing, or a blip
+        too short to ever cross either line) stalls execution instead —
+        that is what bounds flap-induced rollbacks.  Returns ``(compute,
+        comm, ghost, recovery seconds, final partition, recovery records,
+        final live set)`` — compute/comm cover only the committed attempt.
         """
         cost = self.cost
         overlap = cost.comm_overlap
@@ -652,7 +769,7 @@ class ExecutionSimulator:
 
         with obs.span("interval_cost_resilient", coarse_steps=coarse_steps):
             while steps_done < coarse_steps:
-                dead = [p for p in live if detector.detected_down(p, t)]
+                dead = [p for p in live if detector.evictable_down(p, t)]
                 if dead:
                     if len(records) >= ft.max_recoveries_per_interval:
                         raise RuntimeError(
@@ -675,7 +792,7 @@ class ExecutionSimulator:
                     blackout = 0.0
                     if not live:
                         t_ret = min(
-                            detector.next_detected_alive(p, t)
+                            detector.next_evictable_alive(p, t)
                             for p in range(self.num_procs)
                         )
                         if math.isinf(t_ret):
@@ -687,7 +804,10 @@ class ExecutionSimulator:
                         t = t_ret
                         live = detector.live_nodes(t)
                     prev = partition
-                    partition = self._partition_over(decision, units, live)
+                    partition = self._partition_over(
+                        decision, units, live,
+                        self._degraded_weights(detector, t),
+                    )
                     repart_metrics = evaluate_partition(partition, prev)
                     repart_s = self._regrid_cost(
                         repart_metrics, partition, snap
@@ -725,16 +845,20 @@ class ExecutionSimulator:
                 )
                 stalled = [p for p in live if loads[p] > 0 and speeds[p] <= 0.0]
                 if stalled:
-                    # True failure the lease has not expired on yet, or a
-                    # blip shorter than the detection latency: work pauses
-                    # until the detector fires or the node returns.
-                    t_wake = min(
-                        min(
-                            detector.detection_fire_time(p, t),
-                            failures.next_alive_time(p, t),
-                        )
-                        for p in stalled
+                    # Outage that is not yet evictable — lease unexpired,
+                    # hysteresis still accruing, or a blip too short to
+                    # ever cross the eviction line: work pauses until the
+                    # eviction fires or the node returns.  A node that
+                    # returns first is a suppressed flap, not a rollback.
+                    t_fire = min(
+                        detector.eviction_fire_time(p, t) for p in stalled
                     )
+                    t_back = min(
+                        failures.next_alive_time(p, t) for p in stalled
+                    )
+                    t_wake = min(t_fire, t_back)
+                    if t_back < t_fire:
+                        obs.counter("resilience.flap_suppressed").inc()
                     if t_wake <= t:
                         t_wake = t + detector.config.heartbeat_period
                     attempt_stall += t_wake - t

@@ -10,7 +10,13 @@ and failure injection for the agent layer's fault-management paths.
 from repro.gridsys.node import Node
 from repro.gridsys.link import Link
 from repro.gridsys.cluster import Cluster, sp2_blue_horizon, linux_cluster
-from repro.gridsys.failures import FailureEvent, FailureSchedule
+from repro.gridsys.failures import (
+    DegradedWindow,
+    FailureEvent,
+    FailureSchedule,
+    FlappingNode,
+    NetworkPartition,
+)
 
 __all__ = [
     "Node",
@@ -18,6 +24,9 @@ __all__ = [
     "Cluster",
     "sp2_blue_horizon",
     "linux_cluster",
+    "DegradedWindow",
     "FailureEvent",
     "FailureSchedule",
+    "FlappingNode",
+    "NetworkPartition",
 ]

@@ -58,12 +58,17 @@ class Cluster:
     def effective_speed(self, node_id: int, t: float) -> float:
         """Work units per second available to the application at time ``t``.
 
-        Zero while the node is failed.
+        Zero while the node is failed; scaled down by any active
+        :class:`~repro.gridsys.failures.DegradedWindow` (a gray failure —
+        the node is slow, not dead).
         """
         node = self.nodes[node_id]
         if not self.failures.is_alive(node_id, t):
             return 0.0
-        return node.cpu_speed * (1.0 - self.background_load(node_id, t))
+        speed = node.cpu_speed * (1.0 - self.background_load(node_id, t))
+        if self.failures.degraded:
+            speed *= self.failures.capacity_factor(node_id, t)
+        return speed
 
     def comm_time(self, src: int, dst: int, nbytes: float) -> float:
         """Transfer time between two nodes (0 for src == dst)."""

@@ -70,7 +70,12 @@ class CpuAvailabilitySensor(SystemSensor):
     def _true_value(self, t: float) -> float:
         if not self.cluster.failures.is_alive(self.node_id, t):
             return 0.0
-        return 1.0 - self.cluster.background_load(self.node_id, t)
+        avail = 1.0 - self.cluster.background_load(self.node_id, t)
+        # Degraded windows (gray failures) show up in the sensor stream as
+        # reduced availability — this is what feeds graded suspicion.
+        if self.cluster.failures.degraded:
+            avail *= self.cluster.failures.capacity_factor(self.node_id, t)
+        return avail
 
     def measure(self, t: float) -> float:
         return min(super().measure(t), 1.0)

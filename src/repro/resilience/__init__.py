@@ -8,12 +8,16 @@ network's responsibilities; this package supplies the machinery:
 - :mod:`~repro.resilience.checkpoint` — coordinated checkpoint/restart of
   the SAMR grid hierarchy at regrid boundaries, with a rollback cost
   model,
+- :mod:`~repro.resilience.durable` — a crash-consistent on-disk
+  checkpoint store (atomic rename, checksummed records, walk-back
+  restore) plus the torn-write/bit-flip fault injector,
 - :mod:`~repro.resilience.recovery` — the :class:`FaultTolerance` knob
   bundle and per-recovery bookkeeping consumed by the execution
   simulator's rollback + redistribute + resume path,
 - :mod:`~repro.resilience.chaos` — a chaos harness sweeping Poisson
   failure schedules through the quickstart scenario and asserting
-  recovery invariants (imported lazily: ``import repro.resilience.chaos``).
+  recovery invariants, plus the gray-failure chaos matrix (imported
+  lazily: ``import repro.resilience.chaos``).
 """
 
 from repro.resilience.checkpoint import (
@@ -26,6 +30,7 @@ from repro.resilience.detector import (
     DetectorConfig,
     FailureDetector,
 )
+from repro.resilience.durable import DurableCheckpointStore, corrupt_checkpoint
 from repro.resilience.recovery import FaultTolerance, RecoveryRecord
 
 __all__ = [
@@ -34,7 +39,9 @@ __all__ = [
     "CheckpointStore",
     "DetectionEvent",
     "DetectorConfig",
+    "DurableCheckpointStore",
     "FailureDetector",
     "FaultTolerance",
     "RecoveryRecord",
+    "corrupt_checkpoint",
 ]

@@ -11,15 +11,29 @@ failed node measures zero availability), polls them every
 expires).  Recovery is declared after ``recovery_confirmations``
 consecutive healthy heartbeats.
 
+Suspicion is *graded*, not binary.  Each node walks a four-state machine
+driven by the sensor stream — ``healthy`` → ``degraded`` (availability
+sagging but heartbeats answered) → ``suspect`` (lease expired:
+``misses_to_declare`` consecutive misses) → ``dead`` (suspect for a
+further ``eviction_hysteresis_polls`` misses).  :meth:`suspicion` exposes
+the underlying phi-accrual-style score (misses normalized by the lease
+length), and :meth:`capacity_estimate` an EWMA of measured availability
+that the execution simulator routes into capacity-weighted partitioning
+as a *down-weight* — a degraded node is slowed, never evacuated.  The
+suspect → dead hysteresis is the flapping defense: a node must stay
+suspect for the extra polls before recovery evicts it, so short flaps
+stall work briefly instead of triggering a rollback storm.  The default
+hysteresis of zero collapses suspect and dead into the PR-2 behavior.
+
 The execution simulator replays traces in closed form rather than running
 the polling loop, so the detector also exposes the analytic equivalent: an
 outage beginning at ``t_fail`` is *declared* at ``t_fail +
-detection_latency`` and a repair at ``t_recover`` is *recognized* at
-``t_recover + recovery_latency``.  Outages shorter than the detection
-latency never expire the lease and are never declared — transient blips
-stall work but trigger no recovery.  Both faces share the same latency
-constants, so agent-layer polling and simulator replay agree on when the
-system "knows" about a failure.
+detection_latency``, becomes *evictable* at ``t_fail + eviction_latency``,
+and a repair at ``t_recover`` is *recognized* at ``t_recover +
+recovery_latency``.  Outages shorter than the respective latency never
+cross that line — transient blips stall work but trigger no recovery.
+Both faces share the same latency constants, so agent-layer polling and
+simulator replay agree on when the system "knows" about a failure.
 """
 
 from __future__ import annotations
@@ -40,12 +54,26 @@ class DetectorConfig:
 
     #: seconds between heartbeat probes
     heartbeat_period: float = 1.0
-    #: consecutive missed heartbeats that expire a node's lease
+    #: consecutive missed heartbeats that expire a node's lease (suspect)
     misses_to_declare: int = 3
     #: consecutive healthy heartbeats that re-admit a declared-down node
     recovery_confirmations: int = 1
     #: a heartbeat reading at or below this counts as a miss
     healthy_threshold: float = 1e-9
+    #: extra consecutive misses a suspect node must accrue before it is
+    #: declared dead and evacuated.  0 (the default) evicts at lease
+    #: expiry; raising it suppresses flap-induced rollback storms at the
+    #: cost of stalling that much longer on a genuine crash.
+    eviction_hysteresis_polls: int = 0
+    #: an answered heartbeat at or below this availability marks the node
+    #: degraded (slow, not dead)
+    degraded_threshold: float = 0.5
+    #: EWMA smoothing for the per-node capacity estimate
+    capacity_ewma_alpha: float = 0.3
+    #: record degraded/restored transitions as :class:`DetectionEvent`\ s
+    #: and publish ``node-degraded`` / ``node-restored`` (off by default:
+    #: background-loaded clusters would emit them constantly)
+    track_degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.heartbeat_period <= 0:
@@ -65,11 +93,37 @@ class DetectorConfig:
             raise ValueError(
                 f"healthy_threshold must be >= 0, got {self.healthy_threshold}"
             )
+        if self.eviction_hysteresis_polls < 0:
+            raise ValueError(
+                f"eviction_hysteresis_polls must be >= 0, "
+                f"got {self.eviction_hysteresis_polls}"
+            )
+        if not 0.0 <= self.degraded_threshold <= 1.0:
+            raise ValueError(
+                f"degraded_threshold must be in [0, 1], "
+                f"got {self.degraded_threshold}"
+            )
+        if not 0.0 < self.capacity_ewma_alpha <= 1.0:
+            raise ValueError(
+                f"capacity_ewma_alpha must be in (0, 1], "
+                f"got {self.capacity_ewma_alpha}"
+            )
 
     @property
     def detection_latency(self) -> float:
-        """Worst-case seconds from true failure to lease expiry."""
+        """Worst-case seconds from true failure to lease expiry (suspect)."""
         return self.heartbeat_period * self.misses_to_declare
+
+    @property
+    def eviction_latency(self) -> float:
+        """Worst-case seconds from true failure to eviction (dead).
+
+        Detection latency plus the suspect → dead hysteresis; equal to
+        :attr:`detection_latency` when the hysteresis is zero.
+        """
+        return self.heartbeat_period * (
+            self.misses_to_declare + self.eviction_hysteresis_polls
+        )
 
     @property
     def recovery_latency(self) -> float:
@@ -82,7 +136,7 @@ class DetectionEvent:
     """One state change declared by the detector."""
 
     node_id: int
-    kind: str  # "failure" | "recovery"
+    kind: str  # "failure" | "recovery" | "degraded" | "restored"
     t_detected: float
 
 
@@ -106,11 +160,13 @@ class FailureDetector:
         self._misses = [0] * n
         self._hits = [0] * n
         self._declared_down = [False] * n
+        self._degraded = [False] * n
+        self._capacity = [1.0] * n
         self._sensors: list | None = None
         self._sensor_noise = sensor_noise
         self._sensor_seed = sensor_seed
-        self._detected_sched: FailureSchedule | None = None
-        self._detected_sched_len = -1
+        self._face_scheds: dict[float, FailureSchedule] = {}
+        self._face_sched_len = -1
 
     # -- sensor-fed polling face ---------------------------------------------------
 
@@ -138,9 +194,16 @@ class FailureDetector:
         ``node-failed`` / ``node-recovered`` topics for the ADM.
         """
         cfg = self.config
+        alpha = cfg.capacity_ewma_alpha
+        declare_at = cfg.misses_to_declare + cfg.eviction_hysteresis_polls
         new: list[DetectionEvent] = []
         for node in range(self.cluster.num_nodes):
-            healthy = self._sensor(node).measure(t) > cfg.healthy_threshold
+            reading = self._sensor(node).measure(t)
+            healthy = reading > cfg.healthy_threshold
+            if healthy:
+                self._capacity[node] += alpha * (
+                    min(reading, 1.0) - self._capacity[node]
+                )
             if self._declared_down[node]:
                 if healthy:
                     self._hits[node] += 1
@@ -152,20 +215,36 @@ class FailureDetector:
                     self._hits[node] = 0
             else:
                 if healthy:
+                    if self._misses[node] >= cfg.misses_to_declare:
+                        # A suspect node answered before the hysteresis ran
+                        # out: the flap is absorbed without an eviction.
+                        obs.counter("resilience.flap_suppressed").inc()
                     self._misses[node] = 0
+                    degraded = reading <= cfg.degraded_threshold
+                    if degraded != self._degraded[node]:
+                        self._degraded[node] = degraded
+                        if cfg.track_degraded:
+                            kind = "degraded" if degraded else "restored"
+                            new.append(DetectionEvent(node, kind, t))
                 else:
                     self._misses[node] += 1
-                    if self._misses[node] >= cfg.misses_to_declare:
+                    if self._misses[node] >= declare_at:
                         self._declared_down[node] = True
                         self._hits[node] = 0
                         new.append(DetectionEvent(node, "failure", t))
+        topics = {
+            "failure": "node-failed",
+            "recovery": "node-recovered",
+            "degraded": "node-degraded",
+            "restored": "node-restored",
+        }
         for ev in new:
             obs.counter("resilience.detections", kind=ev.kind).inc()
             if self.message_center is not None:
                 self.message_center.publish(
                     "failure-detector",
-                    "node-failed" if ev.kind == "failure" else "node-recovered",
-                    {"node": ev.node_id},
+                    topics[ev.kind],
+                    {"node": ev.node_id, "capacity": self._capacity[ev.node_id]},
                     time=t,
                 )
         self.events.extend(new)
@@ -186,42 +265,101 @@ class FailureDetector:
         """Nodes currently declared down by the polling loop."""
         return [i for i, d in enumerate(self._declared_down) if d]
 
+    def suspicion(self, node_id: int) -> float:
+        """Phi-accrual-style suspicion score from the polling loop.
+
+        Consecutive misses normalized by the lease length: 0 for a node
+        answering heartbeats, 1.0 at lease expiry (suspect), above 1.0
+        while the eviction hysteresis accrues, ``inf`` once declared dead.
+        """
+        if self._declared_down[node_id]:
+            return math.inf
+        return self._misses[node_id] / self.config.misses_to_declare
+
+    def node_state(self, node_id: int) -> str:
+        """Current rung of the suspicion ladder for ``node_id``.
+
+        One of ``"healthy"``, ``"degraded"``, ``"suspect"``, ``"dead"``
+        as seen by the polling face after the most recent :meth:`poll`.
+        """
+        if self._declared_down[node_id]:
+            return "dead"
+        if self._misses[node_id] >= self.config.misses_to_declare:
+            return "suspect"
+        if self._degraded[node_id]:
+            return "degraded"
+        return "healthy"
+
+    def capacity_estimate(self, node_id: int) -> float:
+        """EWMA of measured availability; 0.0 for a declared-dead node."""
+        if self._declared_down[node_id]:
+            return 0.0
+        return self._capacity[node_id]
+
     # -- analytic face (used during trace replay) -----------------------------------
 
-    def _detected_schedule(self) -> FailureSchedule:
-        """Ground truth shifted by the lease latencies.
+    def _shifted_schedule(self, latency: float) -> FailureSchedule:
+        """Ground truth shifted by ``latency`` / the recovery latency.
 
-        An outage ``[t_fail, t_recover)`` appears to the detector as
-        ``[t_fail + detection_latency, t_recover + recovery_latency)``;
-        outages too short to expire the lease disappear entirely.
+        An outage ``[t_fail, t_recover)`` appears as ``[t_fail + latency,
+        t_recover + recovery_latency)``; outages too short to cross the
+        line disappear entirely.
         """
         truth = self.cluster.failures
-        if self._detected_sched_len != len(truth.events):
-            cfg = self.config
-            shifted = FailureSchedule()
+        if self._face_sched_len != len(truth.events):
+            self._face_scheds.clear()
+            self._face_sched_len = len(truth.events)
+        sched = self._face_scheds.get(latency)
+        if sched is None:
+            t_rec = self.config.recovery_latency
+            sched = FailureSchedule()
             for e in truth.events:
-                t_det = e.t_fail + cfg.detection_latency
-                t_clear = e.t_recover + cfg.recovery_latency
+                t_det = e.t_fail + latency
+                t_clear = e.t_recover + t_rec
                 if t_clear > t_det:
-                    shifted.add(FailureEvent(e.node_id, t_det, t_clear))
-            self._detected_sched = shifted
-            self._detected_sched_len = len(truth.events)
-        return self._detected_sched
+                    sched.add(FailureEvent(e.node_id, t_det, t_clear))
+            self._face_scheds[latency] = sched
+        return sched
+
+    def _detected_schedule(self) -> FailureSchedule:
+        """Outages as seen at lease expiry (the suspect line)."""
+        return self._shifted_schedule(self.config.detection_latency)
+
+    def _eviction_schedule(self) -> FailureSchedule:
+        """Outages that survive the hysteresis (the dead/evict line).
+
+        Identical to :meth:`_detected_schedule` when
+        ``eviction_hysteresis_polls`` is 0.
+        """
+        return self._shifted_schedule(self.config.eviction_latency)
 
     def detected_down(self, node_id: int, t: float) -> bool:
         """True while the detector considers ``node_id`` failed at ``t``."""
         return not self._detected_schedule().is_alive(node_id, t)
 
+    def evictable_down(self, node_id: int, t: float) -> bool:
+        """True once the outage has also outlasted the eviction hysteresis.
+
+        A node can be ``detected_down`` (suspect) without being evictable;
+        recovery only evacuates evictable nodes, so flaps shorter than the
+        hysteresis stall work instead of rolling it back.
+        """
+        return not self._eviction_schedule().is_alive(node_id, t)
+
     def live_nodes(self, t: float, candidates=None) -> list[int]:
-        """Nodes not declared down at ``t`` (subset of ``candidates``)."""
+        """Nodes not evicted at ``t`` (subset of ``candidates``)."""
         if candidates is None:
             candidates = range(self.cluster.num_nodes)
-        sched = self._detected_schedule()
+        sched = self._eviction_schedule()
         return [n for n in candidates if sched.is_alive(n, t)]
 
     def next_detected_alive(self, node_id: int, t: float) -> float:
         """Earliest time ``>= t`` at which the detector trusts the node."""
         return self._detected_schedule().next_alive_time(node_id, t)
+
+    def next_evictable_alive(self, node_id: int, t: float) -> float:
+        """Earliest time ``>= t`` at which the node is no longer evicted."""
+        return self._eviction_schedule().next_alive_time(node_id, t)
 
     def detection_fire_time(self, node_id: int, t: float) -> float:
         """When the in-progress (undeclared) outage at ``t`` will be declared.
@@ -229,15 +367,56 @@ class FailureDetector:
         ``inf`` when no covering outage lasts long enough to expire the
         lease (a transient blip the detector never sees).
         """
+        return self._fire_time(node_id, t, self.config.detection_latency)
+
+    def eviction_fire_time(self, node_id: int, t: float) -> float:
+        """When the in-progress outage at ``t`` will become evictable.
+
+        ``inf`` when the outage ends before the hysteresis runs out — a
+        flap the detector suspects but never evicts.
+        """
+        return self._fire_time(node_id, t, self.config.eviction_latency)
+
+    def _fire_time(self, node_id: int, t: float, latency: float) -> float:
         cfg = self.config
         best = math.inf
         for e in self.cluster.failures.down_during(t, math.inf):
             if e.node_id != node_id or not e.is_down(t):
                 continue
-            t_det = e.t_fail + cfg.detection_latency
+            t_det = e.t_fail + latency
             if t_det >= t and t_det < e.t_recover + cfg.recovery_latency:
                 best = min(best, t_det)
         return best
+
+    def detected_capacity_factor(self, node_id: int, t: float) -> float:
+        """Degraded-window down-weight as the detector perceives it.
+
+        Ground-truth :class:`~repro.gridsys.failures.DegradedWindow`\\ s
+        reach the detector through the same sensor stream as outages, so
+        each window is visible over ``[t_start + detection_latency,
+        t_end + recovery_latency)``.  Returns 1.0 for an undegraded node.
+        """
+        truth = self.cluster.failures
+        if not truth.degraded:
+            return 1.0
+        cfg = self.config
+        factor = 1.0
+        for w in truth.degraded:
+            if (
+                w.node_id == node_id
+                and w.t_start + cfg.detection_latency <= t
+                and t < w.t_end + cfg.recovery_latency
+            ):
+                factor *= w.capacity_factor
+        return factor
+
+    def degraded_nodes(self, t: float, candidates=None) -> list[int]:
+        """Nodes with a detected capacity down-weight at ``t``."""
+        if candidates is None:
+            candidates = range(self.cluster.num_nodes)
+        return [
+            n for n in candidates if self.detected_capacity_factor(n, t) < 1.0
+        ]
 
     def true_fail_time(self, node_id: int, t: float) -> float:
         """``t_fail`` of the outage whose detection window covers ``t``.

@@ -32,6 +32,11 @@ class FaultTolerance:
     #: run is declared livelocked (failures arriving faster than the
     #: interval can be re-executed)
     max_recoveries_per_interval: int = 32
+    #: when set, checkpoints are additionally persisted to this directory
+    #: through a :class:`~repro.resilience.durable.DurableCheckpointStore`
+    #: (atomic rename + checksummed records); ``None`` keeps the in-memory
+    #: store only
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_recoveries_per_interval < 1:

@@ -110,6 +110,27 @@ def _chaos_render(result: dict) -> str:
     return render_chaos(result)
 
 
+def _chaos_matrix_run(ctx: ScenarioContext) -> dict:
+    """One gray-failure matrix column (a single fault type)."""
+    from repro.resilience.chaos import MatrixConfig, run_chaos_matrix
+
+    p = ctx.params
+    config = MatrixConfig(
+        num_procs=p.get("num_procs", 8),
+        num_coarse_steps=p.get("steps", 48),
+        fault_types=(p["fault"],),
+        intensities=tuple(p.get("intensities", ("low",))),
+        seed=p.get("seed", 0),
+    )
+    return run_chaos_matrix(config)
+
+
+def _chaos_matrix_render(result: dict) -> str:
+    from repro.resilience.chaos import render_chaos_matrix
+
+    return render_chaos_matrix(result)
+
+
 def _ablation_sfc_curves(ctx: ScenarioContext) -> dict:
     """Hilbert vs Morton partition quality on sampled snapshots."""
     import numpy as np
@@ -221,6 +242,20 @@ def ensure_registered() -> None:
             render_fn=_chaos_render,
             tags={"chaos"},
             description="Seeded Poisson failure replay + lossy agent soak",
+        ))
+
+    from repro.resilience.chaos import FAULT_TYPES
+
+    for fault in FAULT_TYPES:
+        register(FunctionScenario(
+            f"chaos-matrix-{fault}",
+            _chaos_matrix_run,
+            {"num_procs": 8, "steps": 48, "fault": fault,
+             "intensities": ["low"], "seed": 0},
+            render_fn=_chaos_matrix_render,
+            tags={"chaos", "matrix"},
+            description=f"Gray-failure matrix column: {fault} faults "
+                        "at low intensity, invariant-gated",
         ))
 
     register(FunctionScenario(

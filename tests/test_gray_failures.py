@@ -1,0 +1,551 @@
+"""Gray-failure tolerance: graded suspicion, degraded-mode repartitioning,
+flap hysteresis, network partitions, and the chaos matrix."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.agents import (
+    DeliveryPolicy,
+    ManagedComponent,
+    Message,
+    MessageCenter,
+    MigrateActuator,
+)
+from repro.agents.component import ComponentState
+from repro.agents.message_center import DEDUP_WINDOW
+from repro.execsim import ExecutionSimulator, StaticSelector
+from repro.gridsys import (
+    DegradedWindow,
+    FailureEvent,
+    FailureSchedule,
+    FlappingNode,
+    NetworkPartition,
+    sp2_blue_horizon,
+)
+from repro.partitioners import ISPPartitioner
+from repro.resilience import (
+    DetectorConfig,
+    FailureDetector,
+    FaultTolerance,
+)
+
+
+class TestGrayVocabulary:
+    def test_degraded_window_active_and_validation(self):
+        w = DegradedWindow(2, 10.0, 30.0, capacity_factor=0.4)
+        assert not w.active(9.9)
+        assert w.active(10.0)
+        assert w.active(29.9)
+        assert not w.active(30.0)
+        with pytest.raises(ValueError):
+            DegradedWindow(0, -1.0, 5.0, capacity_factor=0.5)
+        with pytest.raises(ValueError):
+            DegradedWindow(0, 5.0, 5.0, capacity_factor=0.5)
+        for bad in (0.0, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                DegradedWindow(0, 0.0, 5.0, capacity_factor=bad)
+
+    def test_flapping_expands_to_clipped_outages(self):
+        spec = FlappingNode(3, t_start=10.0, t_end=40.0, period=10.0,
+                            down_time=4.0)
+        events = spec.events()
+        assert spec.num_flaps == 3
+        assert events == [
+            FailureEvent(3, 10.0, 14.0),
+            FailureEvent(3, 20.0, 24.0),
+            FailureEvent(3, 30.0, 34.0),
+        ]
+        # A flap straddling t_end is clipped, not dropped.
+        tail = FlappingNode(0, 0.0, 12.0, period=10.0, down_time=5.0)
+        assert tail.events()[-1] == FailureEvent(0, 10.0, 12.0)
+
+    def test_flapping_validation(self):
+        with pytest.raises(ValueError):
+            FlappingNode(0, 10.0, 5.0, period=1.0, down_time=0.5)
+        with pytest.raises(ValueError):
+            FlappingNode(0, 0.0, 10.0, period=0.0, down_time=0.5)
+        with pytest.raises(ValueError):
+            FlappingNode(0, 0.0, 10.0, period=2.0, down_time=2.0)
+
+    def test_partition_groups_and_severed(self):
+        p = NetworkPartition(10.0, 20.0, groups=((0, 1), (2, 3)))
+        assert p.group_of(1) == 0
+        assert p.group_of(3) == 1
+        assert p.group_of(99) is None
+        assert p.severed(0, 2, 15.0)
+        assert not p.severed(0, 1, 15.0)       # same group
+        assert not p.severed(0, 2, 25.0)       # window over
+        assert not p.severed(0, 99, 15.0)      # control plane (unlisted)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            NetworkPartition(0.0, 10.0, groups=((0, 1),))
+        with pytest.raises(ValueError):
+            NetworkPartition(0.0, 10.0, groups=((0, 1), (1, 2)))
+        with pytest.raises(ValueError):
+            NetworkPartition(10.0, 10.0, groups=((0,), (1,)))
+
+    def test_schedule_capacity_factor_multiplies_overlaps(self):
+        sched = FailureSchedule()
+        sched.add_degraded(DegradedWindow(1, 0.0, 100.0, capacity_factor=0.5))
+        sched.add_degraded(DegradedWindow(1, 50.0, 100.0, capacity_factor=0.5))
+        assert sched.capacity_factor(1, 25.0) == pytest.approx(0.5)
+        assert sched.capacity_factor(1, 75.0) == pytest.approx(0.25)
+        assert sched.capacity_factor(1, 100.0) == 1.0
+        assert sched.capacity_factor(0, 75.0) == 1.0
+
+    def test_schedule_add_flapping_registers_events(self):
+        sched = FailureSchedule()
+        added = sched.add_flapping(
+            FlappingNode(2, 0.0, 30.0, period=10.0, down_time=2.0)
+        )
+        assert len(added) == 3
+        assert not sched.is_alive(2, 11.0)
+        assert sched.is_alive(2, 15.0)
+
+    def test_schedule_severed_queries_partitions(self):
+        sched = FailureSchedule()
+        sched.add_partition(
+            NetworkPartition(5.0, 15.0, groups=((0,), (1,)))
+        )
+        assert sched.severed(0, 1, 10.0)
+        assert not sched.severed(0, 1, 20.0)
+
+
+class TestGradedSuspicion:
+    """The polling face's healthy → degraded → suspect → dead ladder."""
+
+    def _detector(self, config=None, degraded=(), events=()):
+        cluster = sp2_blue_horizon(4)
+        for w in degraded:
+            cluster.failures.add_degraded(w)
+        for e in events:
+            cluster.failures.add(e)
+        return FailureDetector(cluster, config)
+
+    def test_degraded_state_from_sensor_stream(self):
+        det = self._detector(
+            DetectorConfig(track_degraded=True),
+            degraded=[DegradedWindow(2, 10.0, 30.0, capacity_factor=0.4)],
+        )
+        det.sweep(0.0, 10.0)
+        assert det.node_state(2) == "healthy"
+        events = det.sweep(10.0, 11.0)
+        assert [(e.node_id, e.kind) for e in events] == [(2, "degraded")]
+        assert det.node_state(2) == "degraded"
+        assert det.suspicion(2) == 0.0          # heartbeats still answered
+        restored = det.sweep(11.0, 31.0)
+        assert [(e.node_id, e.kind) for e in restored] == [(2, "restored")]
+        assert det.node_state(2) == "healthy"
+
+    def test_degraded_events_off_by_default(self):
+        det = self._detector(
+            degraded=[DegradedWindow(2, 10.0, 30.0, capacity_factor=0.4)]
+        )
+        det.sweep(0.0, 40.0)
+        assert det.events == []                  # transitions not recorded
+        assert det.node_state(2) == "healthy"    # window over by t=30
+
+    def test_capacity_estimate_ewma_tracks_degradation(self):
+        det = self._detector(
+            DetectorConfig(capacity_ewma_alpha=0.3),
+            degraded=[DegradedWindow(1, 10.0, 1000.0, capacity_factor=0.4)],
+        )
+        det.sweep(0.0, 10.0)
+        assert det.capacity_estimate(1) == pytest.approx(1.0)
+        det.poll(10.0)
+        assert det.capacity_estimate(1) == pytest.approx(0.82)  # 1+0.3*(0.4-1)
+        det.sweep(11.0, 60.0)
+        assert det.capacity_estimate(1) == pytest.approx(0.4, abs=1e-3)
+        assert det.capacity_estimate(0) == pytest.approx(1.0)
+
+    def test_suspicion_score_ladder(self):
+        det = self._detector(
+            DetectorConfig(eviction_hysteresis_polls=2),
+            events=[FailureEvent(1, 10.0, 100.0)],
+        )
+        det.sweep(0.0, 10.0)
+        assert det.suspicion(1) == 0.0
+        det.poll(10.0)
+        assert det.suspicion(1) == pytest.approx(1 / 3)
+        det.poll(11.0)
+        det.poll(12.0)
+        assert det.suspicion(1) == pytest.approx(1.0)
+        assert det.node_state(1) == "suspect"    # lease expired, not dead yet
+        det.poll(13.0)
+        assert det.suspicion(1) == pytest.approx(4 / 3)
+        assert det.node_state(1) == "suspect"
+        det.poll(14.0)                           # 5th miss = declare_at
+        assert math.isinf(det.suspicion(1))
+        assert det.node_state(1) == "dead"
+        assert det.capacity_estimate(1) == 0.0
+
+    def test_hysteresis_delays_declaration(self):
+        outage = [FailureEvent(1, 10.0, 100.0)]
+        base = self._detector(events=outage)
+        base.sweep(0.0, 20.0)
+        assert [e.t_detected for e in base.events] == [12.0]
+
+        lagged = self._detector(
+            DetectorConfig(eviction_hysteresis_polls=2), events=outage
+        )
+        lagged.sweep(0.0, 20.0)
+        assert [e.t_detected for e in lagged.events] == [14.0]
+
+    def test_flap_shorter_than_hysteresis_suppressed(self):
+        det = self._detector(
+            DetectorConfig(eviction_hysteresis_polls=3),
+            events=[FailureEvent(1, 10.0, 14.0)],   # 4 misses < declare_at 6
+        )
+        with obs.collect() as window:
+            det.sweep(0.0, 20.0)
+        assert det.events == []
+        assert det.node_state(1) == "healthy"
+        assert window.registry.counter_value("resilience.flap_suppressed") >= 1
+
+    def test_publish_carries_capacity_payload(self):
+        mc = MessageCenter()
+        mc.register("adm")
+        mc.subscribe("adm", "node-failed")
+        mc.subscribe("adm", "node-recovered")
+        cluster = sp2_blue_horizon(4)
+        cluster.failures.add(FailureEvent(2, 10.0, 30.0))
+        det = FailureDetector(cluster, message_center=mc)
+        det.sweep(0.0, 40.0)
+        msgs = mc.drain("adm")
+        assert [m.topic for m in msgs] == ["node-failed", "node-recovered"]
+        assert msgs[0].payload["node"] == 2
+        assert "capacity" in msgs[0].payload
+
+
+class TestEvictionFace:
+    """Analytic eviction face: the suspect → dead hysteresis in closed form."""
+
+    def _detector(self, events, polls=3):
+        cluster = sp2_blue_horizon(4)
+        for e in events:
+            cluster.failures.add(e)
+        return FailureDetector(
+            cluster, DetectorConfig(eviction_hysteresis_polls=polls)
+        )
+
+    def test_flap_visible_to_detection_not_eviction(self):
+        # 4s outage: crosses the 3s detection line, not the 6s eviction line.
+        det = self._detector([FailureEvent(1, 10.0, 14.0)])
+        assert det.detected_down(1, 13.5)
+        assert not det.evictable_down(1, 13.5)
+        assert math.isinf(det.eviction_fire_time(1, 10.5))
+        assert det.detection_fire_time(1, 10.5) == 13.0
+        assert 1 in det.live_nodes(13.5)
+
+    def test_long_outage_crosses_both_lines(self):
+        det = self._detector([FailureEvent(2, 50.0, 90.0)])
+        assert det.detection_fire_time(2, 50.0) == 53.0
+        assert det.eviction_fire_time(2, 50.0) == 56.0
+        assert det.detected_down(2, 54.0)
+        assert not det.evictable_down(2, 54.0)   # suspect window
+        assert det.evictable_down(2, 60.0)
+        assert 2 not in det.live_nodes(60.0)
+        assert det.next_evictable_alive(2, 60.0) == 91.0
+
+    def test_zero_hysteresis_faces_identical(self):
+        events = [FailureEvent(1, 10.0, 40.0), FailureEvent(3, 20.0, 22.0)]
+        det = self._detector(events, polls=0)
+        for t in (0.0, 11.0, 13.5, 25.0, 40.5, 41.5):
+            for node in range(4):
+                assert det.evictable_down(node, t) == det.detected_down(node, t)
+                assert det.eviction_fire_time(node, t) == \
+                    det.detection_fire_time(node, t)
+
+    def test_detected_capacity_factor_latency_shifted(self):
+        cluster = sp2_blue_horizon(4)
+        cluster.failures.add_degraded(
+            DegradedWindow(2, 10.0, 30.0, capacity_factor=0.5)
+        )
+        det = FailureDetector(cluster)
+        # Visible over [t_start + detection_latency, t_end + recovery_latency).
+        assert det.detected_capacity_factor(2, 12.0) == 1.0
+        assert det.detected_capacity_factor(2, 13.0) == pytest.approx(0.5)
+        assert det.detected_capacity_factor(2, 30.5) == pytest.approx(0.5)
+        assert det.detected_capacity_factor(2, 31.0) == 1.0
+        assert det.degraded_nodes(15.0) == [2]
+        assert det.degraded_nodes(5.0) == []
+
+
+class TestDegradedReplay:
+    """Simulator: degraded nodes are down-weighted, never evacuated."""
+
+    def _run(self, trace, degraded=(), procs=8):
+        cluster = sp2_blue_horizon(procs)
+        for w in degraded:
+            cluster.failures.add_degraded(w)
+        sim = ExecutionSimulator(cluster)
+        with obs.collect() as window:
+            res = sim.run(trace, StaticSelector(ISPPartitioner()))
+        return res, window
+
+    def test_degraded_node_downweighted_not_evacuated(self, small_rm3d_trace):
+        windows = [DegradedWindow(2, 1.0, 1e9, capacity_factor=0.35)]
+        res, window = self._run(small_rm3d_trace, degraded=windows)
+        planned = small_rm3d_trace.meta["num_coarse_steps"]
+        assert sum(r.coarse_steps for r in res.records) == planned
+        assert res.num_recoveries == 0           # slow ≠ dead: no rollback
+        assert window.registry.counter_value(
+            "resilience.degraded_downweights"
+        ) >= 1
+        owned = set()
+        for rec in res.records:
+            owned |= set(rec.owners)
+        assert 2 in owned                        # still owns work
+
+    def test_degradation_slows_but_completes(self, small_rm3d_trace):
+        clean, _ = self._run(small_rm3d_trace)
+        slowed, _ = self._run(
+            small_rm3d_trace,
+            degraded=[DegradedWindow(1, 0.0, 1e9, capacity_factor=0.25),
+                      DegradedWindow(5, 0.0, 1e9, capacity_factor=0.25)],
+        )
+        assert slowed.total_runtime > clean.total_runtime
+        assert slowed.num_recoveries == 0
+
+    def test_no_degradation_no_downweight_counter(self, small_rm3d_trace):
+        res, window = self._run(small_rm3d_trace)
+        assert window.registry.counter_value(
+            "resilience.degraded_downweights"
+        ) == 0.0
+        assert res.num_recoveries == 0
+
+
+class TestFlappingReplay:
+    """Simulator: eviction hysteresis bounds flap-induced rollbacks."""
+
+    def _run(self, trace, ft, flaps=(), procs=8):
+        cluster = sp2_blue_horizon(procs)
+        for spec in flaps:
+            cluster.failures.add_flapping(spec)
+        sim = ExecutionSimulator(cluster, fault_tolerance=ft)
+        with obs.collect() as window:
+            res = sim.run(trace, StaticSelector(ISPPartitioner()))
+        return res, window
+
+    def test_hysteresis_absorbs_flaps_without_rollback(self, small_rm3d_trace):
+        clean, _ = self._run(small_rm3d_trace, False)
+        horizon = clean.total_runtime
+        # Flaps of 4s: past the 3s detection latency, short of the 6s
+        # eviction latency under 3 hysteresis polls.
+        flaps = [FlappingNode(
+            3, 0.2 * horizon, 0.9 * horizon,
+            period=max(0.25 * horizon, 12.0), down_time=4.0,
+        )]
+        ft = FaultTolerance(
+            detector=DetectorConfig(eviction_hysteresis_polls=3)
+        )
+        res, window = self._run(small_rm3d_trace, ft, flaps=flaps)
+        planned = small_rm3d_trace.meta["num_coarse_steps"]
+        assert sum(r.coarse_steps for r in res.records) == planned
+        assert res.num_recoveries == 0
+        assert window.registry.counter_value("resilience.flap_suppressed") >= 1
+        assert res.total_runtime >= clean.total_runtime  # stalls, not rollbacks
+
+        # The same schedule with zero hysteresis evicts on every flap.
+        naive, _ = self._run(small_rm3d_trace, FaultTolerance(), flaps=flaps)
+        assert naive.num_recoveries >= 1
+
+
+class TestPartitionedMessaging:
+    def _center(self, ports=("a", "b", "c"), policy=None):
+        mc = MessageCenter(policy or DeliveryPolicy())
+        for p in ports:
+            mc.register(p)
+        return mc
+
+    def test_severed_send_dead_letters_partitioned(self):
+        mc = self._center()
+        mc.bind_port("a", 0)
+        mc.bind_port("b", 1)
+        mc.inject_partition(NetworkPartition(10.0, 20.0, groups=((0,), (1,))))
+        assert mc.send(Message(sender="a", dest="b", topic="t", time=15.0)) \
+            is False
+        dl = mc.dead_letters[0]
+        assert dl.reason == "partitioned"
+        assert dl.attempts == 0                  # retries cannot cross a cut
+        assert mc.receive("b") is None
+
+    def test_same_group_and_unbound_unaffected(self):
+        mc = self._center()
+        mc.bind_port("a", 0)
+        mc.bind_port("b", 0)                     # same side of the cut
+        mc.inject_partition(NetworkPartition(10.0, 20.0, groups=((0,), (1,))))
+        assert mc.send(Message(sender="a", dest="b", topic="t", time=15.0))
+        # "c" is unbound: control-plane traffic crosses freely.
+        assert mc.send(Message(sender="a", dest="c", topic="t", time=15.0))
+        assert mc.dead_letter_count == 0
+
+    def test_partition_window_and_heal(self):
+        mc = self._center()
+        mc.bind_port("a", 0)
+        mc.bind_port("b", 1)
+        cut = NetworkPartition(10.0, 20.0, groups=((0,), (1,)))
+        mc.inject_partition(cut)
+        assert mc.send(Message(sender="a", dest="b", topic="t", time=5.0))
+        assert not mc.send(Message(sender="a", dest="b", topic="t", time=15.0))
+        assert mc.send(Message(sender="a", dest="b", topic="t", time=20.0))
+        mc.inject_partition(cut)
+        mc.heal_partitions()
+        assert mc.send(Message(sender="a", dest="b", topic="t", time=15.0))
+
+    def test_duplicate_injection_suppressed_by_dedup(self):
+        mc = self._center(policy=DeliveryPolicy(duplicate_rate=0.8, seed=3))
+        with obs.collect() as window:
+            for i in range(50):
+                assert mc.send(Message(sender="a", dest="b", topic=f"t{i}"))
+        injected = window.registry.counter_value("mc.duplicates_injected")
+        assert injected > 0
+        assert window.registry.counter_value("mc.duplicates_suppressed") \
+            == injected
+        assert mc.duplicates_suppressed_count == injected
+        seqs = [m.seq for m in mc.drain("b")]
+        assert len(seqs) == 50                   # exactly-once at the mailbox
+        assert len(set(seqs)) == 50
+
+    def test_resent_message_suppressed(self):
+        mc = self._center()
+        msg = Message(sender="a", dest="b", topic="t")
+        assert mc.send(msg)
+        assert mc.send(msg)                      # duplicate seq: absorbed
+        assert mc.duplicates_suppressed_count == 1
+        assert len(mc.drain("b")) == 1
+
+    def test_dedup_window_is_bounded(self):
+        mc = self._center()
+        first = Message(sender="a", dest="b", topic="t")
+        mc.send(first)
+        for i in range(DEDUP_WINDOW + 1):
+            mc.send(Message(sender="a", dest="b", topic=f"t{i}"))
+        # first's seq has been evicted from the window: a replay lands.
+        mc.send(first)
+        assert mc.duplicates_suppressed_count == 0
+        assert len(mc.drain("b")) == DEDUP_WINDOW + 3
+
+
+class TestBackoffJitter:
+    def test_default_ladder_unchanged(self):
+        policy = DeliveryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                                backoff_cap=1.0)
+        for retry in range(6):
+            expected = min(0.1 * 2.0**retry, 1.0)
+            assert policy.backoff(retry) == pytest.approx(expected)
+            # A key without jitter enabled changes nothing.
+            assert policy.backoff(retry, key=123) == pytest.approx(expected)
+
+    def test_jitter_deterministic_and_bounded(self):
+        a = DeliveryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                           backoff_cap=1.0, backoff_jitter=True, seed=7)
+        b = DeliveryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                           backoff_cap=1.0, backoff_jitter=True, seed=7)
+        for key in (1, 2, 999):
+            for retry in range(5):
+                bound = min(0.1 * 2.0**retry, 1.0)
+                w = a.backoff(retry, key=key)
+                assert 0.0 <= w < bound
+                assert w == b.backoff(retry, key=key)
+        # Distinct messages desynchronize.
+        waits = {a.backoff(2, key=k) for k in range(20)}
+        assert len(waits) > 1
+        # No key → no jitter (nothing to seed by).
+        assert a.backoff(2) == pytest.approx(0.4)
+
+    def test_jittered_lossy_run_deterministic(self):
+        def run():
+            mc = MessageCenter(DeliveryPolicy(
+                loss_rate=0.5, max_retries=10, seed=5, backoff_jitter=True
+            ))
+            mc.register("a")
+            mc.register("b")
+            for i in range(20):
+                mc.send(Message(sender="a", dest="b", topic=f"t{i}"))
+            return mc.retry_count, mc.delivered_count
+
+        assert run() == run()
+
+    def test_duplicate_rate_validation(self):
+        with pytest.raises(ValueError):
+            DeliveryPolicy(duplicate_rate=1.0)
+        with pytest.raises(ValueError):
+            DeliveryPolicy(duplicate_rate=-0.1)
+
+
+class TestActuatorIdempotency:
+    def _component(self, node=0):
+        return ManagedComponent(
+            name="c", cluster=sp2_blue_horizon(4), node_id=node,
+            total_work=1e6,
+        )
+
+    def test_duplicate_migrate_order_is_noop(self):
+        comp = self._component(node=2)
+        comp.state = ComponentState.RUNNING
+        act = MigrateActuator(comp)
+        assert act.actuate(5.0, target=1) is True
+        assert comp.migrations == 1
+        # A re-sent order (fresh seq, same target) must not migrate again.
+        assert act.actuate(6.0, target=1) is True
+        assert comp.migrations == 1
+        assert comp.node_id == 1
+
+    def test_failed_component_on_target_still_restarts(self):
+        comp = self._component(node=1)
+        comp.progress = 5e5
+        comp.checkpoint = 3e5
+        comp.state = ComponentState.FAILED
+        act = MigrateActuator(comp)
+        # Failed-in-place: the "same target" shortcut must not skip the
+        # checkpoint restart.
+        assert act.actuate(1.0, target=1) is True
+        assert comp.progress == 3e5
+        assert comp.state is ComponentState.RUNNING
+        assert comp.migrations == 1
+
+
+class TestChaosMatrix:
+    def test_config_validation(self):
+        from repro.resilience.chaos import MatrixConfig
+
+        with pytest.raises(ValueError):
+            MatrixConfig(num_procs=1)
+        with pytest.raises(ValueError):
+            MatrixConfig(fault_types=("crash", "meteor"))
+        with pytest.raises(ValueError):
+            MatrixConfig(intensities=("medium",))
+        with pytest.raises(ValueError):
+            MatrixConfig(intensities=())
+        with pytest.raises(ValueError):
+            MatrixConfig(hysteresis_polls=0)
+
+    def test_matrix_smoke_invariants_hold(self):
+        from repro.resilience.chaos import MatrixConfig, run_chaos_matrix
+
+        config = MatrixConfig(
+            num_coarse_steps=12,
+            fault_types=("degraded", "partition", "checkpoint"),
+            intensities=("low",),
+        )
+        result = run_chaos_matrix(config)
+        agg = result["aggregate"]
+        assert agg["cells"] == 3
+        assert agg["cells_failed"] == 0
+        assert agg["all_invariants_hold"]
+        for cell in result["cells"]:
+            assert all(cell["invariants"].values()), cell
+
+    def test_matrix_scenarios_registered(self):
+        from repro.resilience.chaos import FAULT_TYPES
+        from repro.sweep.builtin import ensure_registered
+        from repro.sweep.scenario import get_scenario
+
+        ensure_registered()
+        for fault in FAULT_TYPES:
+            scenario = get_scenario(f"chaos-matrix-{fault}")
+            assert "matrix" in scenario.tags

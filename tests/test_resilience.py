@@ -399,3 +399,99 @@ class TestChaosConfigValidation:
             ChaosConfig(loss_rate=1.0)
         with pytest.raises(ValueError):
             ChaosConfig(mtbf=0.0)
+
+
+class TestDetectorSweepEdges:
+    """Polling-loop boundary conditions: straddling windows, poll-aligned
+    failures, and blips that recover before the lease expires."""
+
+    def _detector(self, *events):
+        cluster = sp2_blue_horizon(4)
+        for e in events:
+            cluster.failures.add(e)
+        return FailureDetector(cluster)
+
+    def test_outage_straddling_sweep_windows(self):
+        # Detector state persists across sweep calls: splitting the sweep
+        # at an arbitrary point inside the outage changes nothing.
+        outage = FailureEvent(1, 8.0, 25.0)
+        split = self._detector(outage)
+        events = split.sweep(0.0, 15.0) + split.sweep(15.0, 40.0)
+        whole = self._detector(outage)
+        assert events == whole.sweep(0.0, 40.0)
+        assert [(e.kind, e.t_detected) for e in events] == [
+            ("failure", 10.0), ("recovery", 25.0)
+        ]
+
+    def test_failure_exactly_at_poll_boundary(self):
+        # The heartbeat at t=10.0 itself misses (is_down is half-open on
+        # the left), so polling declares one period before the analytic
+        # worst case — the analytic face stays conservative.
+        det = self._detector(FailureEvent(1, 10.0, 13.0))
+        det.sweep(0.0, 20.0)
+        fails = [e for e in det.events if e.kind == "failure"]
+        assert [e.t_detected for e in fails] == [12.0]
+        assert det.detection_fire_time(1, 10.0) == 13.0
+        assert det.detected_down(1, 13.5)
+        assert det.next_detected_alive(1, 13.0) == 14.0
+
+    def test_recovery_before_detection_fires(self):
+        # A 1.7s blip misses one heartbeat: both faces stay silent.
+        det = self._detector(FailureEvent(1, 10.2, 11.9))
+        det.sweep(0.0, 20.0)
+        assert det.events == []
+        assert det.declared_down_nodes() == []
+        assert math.isinf(det.detection_fire_time(1, 10.5))
+        for t in (10.5, 13.5, 15.0):
+            assert not det.detected_down(1, t)
+            assert det.next_detected_alive(1, t) == t
+
+    def test_sweep_rejects_reversed_window(self):
+        det = self._detector()
+        with pytest.raises(ValueError):
+            det.sweep(5.0, 4.0)
+
+
+class TestCheckpointAliasing:
+    """The deep_copy knob and its wiring to incremental replay."""
+
+    def test_default_aliases_the_saved_hierarchy(self, small_hierarchy):
+        store = CheckpointStore()
+        mutable = small_hierarchy.copy()
+        store.save(0, 0.0, mutable)
+        mutable.levels.pop()            # in-place regrid-style mutation
+        ck, _ = store.restore()
+        # Documented hazard: without deep_copy the checkpoint tracks the
+        # caller's mutations.
+        assert ck.hierarchy is mutable
+        assert ck.hierarchy.total_cells == mutable.total_cells
+
+    def test_deep_copy_snapshots_state_at_save_time(self, small_hierarchy):
+        store = CheckpointStore(deep_copy=True)
+        mutable = small_hierarchy.copy()
+        before = mutable.total_cells
+        store.save(0, 0.0, mutable)
+        mutable.levels.pop()
+        ck, _ = store.restore()
+        assert ck.hierarchy is not mutable
+        assert ck.hierarchy.total_cells == before
+
+    def test_simulator_wires_deep_copy_to_incremental(
+        self, monkeypatch, small_rm3d_trace
+    ):
+        from repro.execsim import simulator as simulator_mod
+
+        captured = []
+
+        class Spy(CheckpointStore):
+            def __init__(self, cost_model=None, *, keep=2, deep_copy=False):
+                captured.append(deep_copy)
+                super().__init__(cost_model, keep=keep, deep_copy=deep_copy)
+
+        monkeypatch.setattr(simulator_mod, "CheckpointStore", Spy)
+        for incremental in (True, False):
+            ExecutionSimulator(
+                sp2_blue_horizon(4), fault_tolerance=FaultTolerance(),
+                incremental=incremental,
+            ).run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
+        assert captured == [True, False]
