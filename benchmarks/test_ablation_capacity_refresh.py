@@ -9,6 +9,7 @@ one-shot estimate; on a *static* heterogeneous load the two should tie.
 
 
 from repro.apps.loadgen import LoadPattern
+from repro.config import SimulatorOptions
 from repro.core import CapacityCalculator, CapacityWeights
 from repro.execsim import ExecutionSimulator, StaticSelector
 from repro.gridsys import linux_cluster
@@ -20,7 +21,7 @@ WEIGHTS = CapacityWeights(cpu=0.8, memory=0.05, bandwidth=0.15)
 
 def _runtime_with_capacities(cluster, trace, capacities, num_procs):
     sim = ExecutionSimulator(cluster, num_procs=num_procs,
-                             capacities=capacities)
+                             options=SimulatorOptions(capacities=capacities))
     return sim.run(
         trace, StaticSelector(HeterogeneousPartitioner(), granularity=2)
     ).total_runtime

@@ -1,0 +1,227 @@
+"""Serving-runtime perf snapshot — emits ``BENCH_serve.json`` at the repo root.
+
+Four sections, wired into the CI benchdiff gate:
+
+- **dedup** (deterministic, gated): 120 requests over 6 distinct keys
+  submitted against a parked worker pool must coalesce to 6 executions —
+  a ≥0.9 dedup hit rate is the acceptance bar (this layout gives 0.95).
+- **saturation** (deterministic, gated): offering 2× the queue bound in
+  distinct requests sheds exactly the overflow with reason
+  ``queue-full`` — and every shed handle is terminal immediately (shed,
+  never hung).
+- **worker_death** (deterministic, gated): with a death injected into
+  every job's first attempt (both the before-run and after-run windows),
+  zero jobs are lost and zero are double-committed.
+- **wall_clock** (machine-dependent, ignored by benchdiff's ``*wall*``
+  glob): throughput and latency percentiles at N concurrent clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import ScenarioServer
+from repro.serve.queue import SHED_QUEUE_FULL, TERMINAL_STATUSES
+from repro.sweep.scenario import FunctionScenario, register, unregister
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SNAPSHOT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+WORKERS = 4
+QUEUE_CAPACITY = 32
+MAX_BATCH = 4
+
+
+def _work(ctx):
+    n = ctx.params["n"]
+    return {"sum_sq": sum(k * k for k in range(n)), "n": n}
+
+
+def _with_scenario(fn):
+    register(FunctionScenario("bench-serve", _work, {"n": 100}),
+             replace=True)
+    try:
+        return fn()
+    finally:
+        unregister("bench-serve")
+
+
+def _server(**kwargs):
+    kwargs.setdefault("workers", WORKERS)
+    kwargs.setdefault("queue_capacity", QUEUE_CAPACITY)
+    kwargs.setdefault("max_batch", MAX_BATCH)
+    kwargs.setdefault("scenario_modules", ())
+    return ScenarioServer(**kwargs)
+
+
+def _bench_dedup():
+    """120 pending requests over 6 keys coalesce onto 6 executions."""
+    requests, distinct = 120, 6
+    server = _server(start=False)
+    handles = [
+        server.submit("bench-serve", {"n": 100 + (i % distinct)})
+        for i in range(requests)
+    ]
+    counters = server.stats()["counters"]
+    server.start()
+    results = [h.result(timeout=30) for h in handles]
+    server.shutdown()
+    final = server.stats()["counters"]
+    hit_rate = counters.get("dedup_hits", 0) / requests
+    assert all(
+        r["n"] == 100 + (i % distinct) for i, r in enumerate(results)
+    )
+    assert final["executions"] == distinct
+    assert hit_rate >= 0.9, f"dedup hit rate {hit_rate} below the 0.9 bar"
+    return {
+        "requests": requests,
+        "distinct_keys": distinct,
+        "executions": final["executions"],
+        "dedup_hits": counters.get("dedup_hits", 0),
+        "hit_rate": hit_rate,
+    }
+
+
+def _bench_saturation():
+    """2x the queue bound in distinct requests: exact, immediate sheds."""
+    offered = 2 * QUEUE_CAPACITY
+    server = _server(start=False)
+    handles = [
+        server.submit("bench-serve", {"n": 200 + i}) for i in range(offered)
+    ]
+    shed = [h for h in handles if h.status == "shed"]
+    hung = [h for h in handles if not (h.done or h.status == "queued")]
+    assert len(shed) == offered - QUEUE_CAPACITY
+    assert all(h.record()["error"] == SHED_QUEUE_FULL for h in shed)
+    assert not hung, "requests beyond the bound must shed, never hang"
+    server.start()
+    admitted = [h for h in handles if h.status != "shed"]
+    done = [h for h in admitted if h.result(timeout=30)["n"] >= 200]
+    server.shutdown()
+    return {
+        "queue_capacity": QUEUE_CAPACITY,
+        "offered": offered,
+        "admitted": len(admitted),
+        "completed": len(done),
+        "shed": len(shed),
+        "shed_rate": len(shed) / offered,
+        "hung": len(hung),
+    }
+
+
+def _bench_worker_death():
+    """A death in every job's first attempt: nothing lost, nothing doubled."""
+    jobs = 12
+    first_attempt_seen: set[int] = set()
+
+    def injector(job, attempt):
+        if job.seq not in first_attempt_seen:
+            first_attempt_seen.add(job.seq)
+            # alternate the two windows where delivery guarantees differ
+            return "before" if job.seq % 2 else "after"
+        return None
+
+    commits: dict[str, int] = {}
+    commit_lock = threading.Lock()
+
+    def listener(job, kind, t, attrs):
+        if kind in TERMINAL_STATUSES:
+            with commit_lock:
+                commits[f"job-{job.seq}"] = (
+                    commits.get(f"job-{job.seq}", 0) + 1
+                )
+
+    server = _server(death_injector=injector)
+    server.add_listener(listener)
+    handles = [
+        server.submit("bench-serve", {"n": 300 + i}) for i in range(jobs)
+    ]
+    results = [h.result(timeout=30) for h in handles]
+    stats = server.stats()["counters"]
+    server.shutdown()
+    lost = sum(1 for h in handles if h.record()["status"] != "done")
+    double_committed = sum(1 for n in commits.values() if n > 1)
+    assert len(results) == jobs
+    assert lost == 0, f"{lost} jobs lost under worker-death injection"
+    assert double_committed == 0, "a job committed its terminal state twice"
+    assert stats["completed"] == jobs
+    return {
+        "jobs": jobs,
+        "deaths_injected": len(first_attempt_seen),
+        "retries": sum(h.record()["retries"] for h in handles),
+        "lost": lost,
+        "double_committed": double_committed,
+        "completed": stats["completed"],
+    }
+
+
+def _bench_wall_clock():
+    """Throughput/latency at N concurrent clients (machine-dependent)."""
+    clients, per_client = 8, 25
+    server = _server()
+    all_handles: list[list] = [[] for _ in range(clients)]
+
+    def client(cid: int) -> None:
+        for i in range(per_client):
+            all_handles[cid].append(
+                server.submit("bench-serve", {"n": 400 + cid * per_client + i})
+            )
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(cid,)) for cid in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    server.drain(timeout=60)
+    wall_s = time.perf_counter() - t0
+    waits = sorted(
+        h.record()["wait_s"]
+        for handles in all_handles for h in handles
+        if h.record()["wait_s"] is not None
+    )
+    server.shutdown()
+    total = clients * per_client
+
+    def pct(p: float) -> float:
+        return waits[min(len(waits) - 1, int(p * len(waits)))]
+
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_s": wall_s,
+        "throughput_jobs_per_s": total / max(wall_s, 1e-9),
+        "latency_p50_s": pct(0.50),
+        "latency_p95_s": pct(0.95),
+        "latency_max_s": waits[-1],
+    }
+
+
+def test_serve_snapshot():
+    def run():
+        snapshot = {
+            "bench": "serve",
+            "config": {
+                "workers": WORKERS,
+                "queue_capacity": QUEUE_CAPACITY,
+                "max_batch": MAX_BATCH,
+            },
+            "dedup": _bench_dedup(),
+            "saturation": _bench_saturation(),
+            "worker_death": _bench_worker_death(),
+            "wall_clock": _bench_wall_clock(),
+        }
+        SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+        return snapshot
+
+    snapshot = _with_scenario(run)
+    assert snapshot["dedup"]["hit_rate"] >= 0.9
+    assert snapshot["saturation"]["shed"] == QUEUE_CAPACITY
+    assert snapshot["saturation"]["hung"] == 0
+    assert snapshot["worker_death"]["lost"] == 0
+    assert snapshot["worker_death"]["double_committed"] == 0

@@ -17,18 +17,31 @@ runs through the scenario sweep engine (:mod:`repro.sweep`): a uniform
 :class:`Scenario` protocol, content-addressed result caching, and a
 parallel :class:`SweepRunner` behind ``python -m repro sweep``.
 
-The runtime facade and the sweep engine are re-exported here:
+Batch sweeps answer one question and exit; the serving runtime
+(:mod:`repro.serve`, ``python -m repro serve``) keeps the same engine
+resident — bounded priority admission, request coalescing, batched
+dispatch and explicit load shedding behind :class:`ServerHandle`.
 
->>> from repro import Pragma, MetaPartitioner, run_sweep
+The stable public surface is the :mod:`repro.api` facade, snapshotted
+in ``tests/golden/api_surface.json``; its names are re-exported here:
+
+>>> from repro import Pragma, MetaPartitioner, run_sweep, ServerHandle
 """
 
-from repro.core import MetaPartitioner, PragmaRuntime
-from repro.sweep import Scenario, SweepRunner, run_sweep
+from repro.api import (
+    MetaPartitioner,
+    Pragma,
+    PragmaRuntime,
+    RuntimeConfig,
+    Scenario,
+    ScenarioServer,
+    ServerHandle,
+    SimulatorOptions,
+    SweepRunner,
+    run_sweep,
+)
 
-#: the paper's name for the runtime — alias of :class:`PragmaRuntime`
-Pragma = PragmaRuntime
-
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -38,6 +51,10 @@ __all__ = [
     "Scenario",
     "SweepRunner",
     "run_sweep",
+    "ScenarioServer",
+    "ServerHandle",
+    "RuntimeConfig",
+    "SimulatorOptions",
     "amr",
     "sfc",
     "apps",
@@ -53,4 +70,7 @@ __all__ = [
     "sweep",
     "resilience",
     "experiments",
+    "api",
+    "config",
+    "serve",
 ]

@@ -1,0 +1,45 @@
+"""The stable public API facade.
+
+Everything a downstream consumer should import lives here, re-exported
+under one flat namespace with compatibility guarantees:
+
+- **runtime** — :class:`Pragma` / :class:`PragmaRuntime` (the paper's
+  adaptive runtime) and :class:`MetaPartitioner` (octant-driven
+  partitioner selection),
+- **scenarios** — :class:`Scenario`, :class:`SweepRunner` and
+  :func:`run_sweep` (the batch sweep engine),
+- **serving** — :class:`ServerHandle` / :class:`ScenarioServer` (the
+  long-running scenario-serving runtime, ``python -m repro serve``),
+- **configuration** — :class:`RuntimeConfig` (one composed entry point
+  over the detector, delivery, checkpoint and simulator knobs) and
+  :class:`SimulatorOptions`.
+
+The exact surface is snapshotted in ``tests/golden/api_surface.json``;
+``tests/test_api_surface.py`` fails on any drift, so additions and
+removals here are always explicit, reviewed changes.  Internal modules
+(``repro.execsim``, ``repro.agents``, ...) remain importable but carry
+no stability promise; prefer this facade::
+
+    from repro.api import Pragma, run_sweep, ServerHandle
+"""
+
+from repro.config import RuntimeConfig, SimulatorOptions
+from repro.core import MetaPartitioner, PragmaRuntime
+from repro.serve import ScenarioServer, ServerHandle
+from repro.sweep import Scenario, SweepRunner, run_sweep
+
+#: the paper's name for the runtime — alias of :class:`PragmaRuntime`
+Pragma = PragmaRuntime
+
+__all__ = [
+    "Pragma",
+    "PragmaRuntime",
+    "MetaPartitioner",
+    "Scenario",
+    "SweepRunner",
+    "run_sweep",
+    "ScenarioServer",
+    "ServerHandle",
+    "RuntimeConfig",
+    "SimulatorOptions",
+]

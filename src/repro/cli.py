@@ -1,7 +1,9 @@
 """Command-line interface: ``python -m repro <verb> [...]``.
 
-One argparse subcommand parser with four verbs, sharing ``--json``
-(document output) and ``--seed`` (base seed) options:
+One argparse subcommand parser; every verb shares the same ``--json``
+(document output), ``--seed`` (base seed) and ``--cache-dir`` (cache
+root) options via a single parent parser, so they parse and document
+identically everywhere:
 
 ``run`` — paper-fidelity experiments (reference trace, 64 procs)::
 
@@ -40,6 +42,15 @@ directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``::
     python -m repro trace --json trace.json      # ... or to a file
     python -m repro trace --timeline tl.jsonl    # also dump the timeline
 
+``serve`` — the long-running scenario-serving runtime
+(:mod:`repro.serve`): bounded priority admission, request coalescing,
+batched dispatch, explicit load shedding — speaking JSONL requests on
+stdin, a file, or a local socket::
+
+    echo '{"op": "submit", "scenario": "table2"}' | python -m repro serve
+    python -m repro serve --requests jobs.jsonl --json summary.json
+    python -m repro serve --socket /tmp/repro.sock --workers 4
+
 ``benchdiff`` — the bench regression gate: compare a current
 ``BENCH_*.json`` against a committed baseline and exit non-zero on
 regression (:mod:`repro.obs.benchdiff`)::
@@ -77,7 +88,7 @@ from repro.experiments import EXPERIMENTS
 
 #: the subcommand verbs; anything else in argv[0] is a legacy experiment
 #: spelling and is rewritten to ``run <argv...>``
-VERBS = ("run", "sweep", "report", "chaos", "trace", "benchdiff",
+VERBS = ("run", "sweep", "report", "chaos", "trace", "serve", "benchdiff",
          "kernels-bench", "execsim-bench")
 
 
@@ -92,24 +103,40 @@ def _emit(document, json_arg) -> None:
         print(f"wrote {json_arg}", file=sys.stderr)
 
 
-def _shared_parents() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
-    """The ``--json`` and ``--seed`` option groups shared across verbs."""
-    json_parent = argparse.ArgumentParser(add_help=False)
-    json_parent.add_argument(
+#: canonical help strings for the shared options — one source of truth so
+#: every verb documents (and parses) them identically
+SHARED_OPTION_HELP = {
+    "--json": "emit the result as JSON to PATH ('-' or no value: stdout)",
+    "--seed": "base seed for deterministic scenario seed derivation "
+    "(default 0)",
+    "--cache-dir": "cache root for shared traces and cached results "
+    "(default: .cache/)",
+}
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """The ``--json`` / ``--seed`` / ``--cache-dir`` options every verb
+    shares — one parent parser, so help text, defaults and parsing are
+    identical across ``run``/``sweep``/``chaos``/``report`` and friends.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--json",
         nargs="?",
         const="-",
         default=None,
         metavar="PATH",
-        help="emit the result as JSON to PATH ('-' or no value: stdout)",
+        help=SHARED_OPTION_HELP["--json"],
     )
-    seed_parent = argparse.ArgumentParser(add_help=False)
-    seed_parent.add_argument(
-        "--seed", type=int, default=0,
-        help="base seed for deterministic scenario seed derivation "
-        "(default 0)",
+    parent.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help=SHARED_OPTION_HELP["--seed"],
     )
-    return json_parent, seed_parent
+    parent.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=SHARED_OPTION_HELP["--cache-dir"],
+    )
+    return parent
 
 
 def run_main(args: argparse.Namespace) -> int:
@@ -335,9 +362,52 @@ def execsim_bench_main(args: argparse.Namespace) -> int:
     return 0 if doc["gate"]["all_match"] else 1
 
 
+def serve_main(args: argparse.Namespace) -> int:
+    """The ``serve`` verb: the long-running scenario-serving runtime.
+
+    Speaks the JSONL protocol (:mod:`repro.serve.protocol`) over stdin,
+    a request file, or a local UNIX-domain socket.  Stream mode exits
+    non-zero when any submitted job failed or timed out (shed requests
+    are an explicit, successful refusal and do not fail the run).
+    """
+    from repro.serve import ScenarioServer
+    from repro.serve.jsonl import run_requests, serve_socket
+
+    server = ScenarioServer(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_batch=args.max_batch,
+        base_seed=args.seed,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    try:
+        if args.socket is not None:
+            print(f"serving JSONL on {args.socket} "
+                  "(send {\"op\": \"shutdown\"} to stop) ...",
+                  file=sys.stderr)
+            serve_socket(server, args.socket)
+            summary = {"requests": 0, "by_status": {},
+                       "stats": server.stats()}
+        else:
+            if args.requests is not None:
+                with open(args.requests, encoding="utf-8") as fh:
+                    lines = fh.readlines()
+            else:
+                lines = sys.stdin
+            summary = run_requests(server, lines, sys.stdout)
+    finally:
+        server.shutdown()
+    if args.json is not None:
+        _emit(summary, args.json)
+    by_status = summary.get("by_status", {})
+    bad = by_status.get("failed", 0) + by_status.get("timeout", 0)
+    return 1 if bad else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The single subcommand parser behind ``python -m repro``."""
-    json_parent, seed_parent = _shared_parents()
+    common = [_common_parent()]
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of the Pragma paper "
@@ -347,7 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser(
         "run",
-        parents=[json_parent, seed_parent],
+        parents=common,
         help="run paper-fidelity experiments (reference trace)",
         description="Run experiments at paper fidelity and print the "
         "corresponding tables/figures.",
@@ -358,16 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which experiment(s) to run ('all' for everything)",
     )
-    p_run.add_argument(
-        "--cache-dir",
-        default=None,
-        help="directory for the cached reference trace (default: .cache/)",
-    )
     p_run.set_defaults(func=run_main)
 
     p_sweep = sub.add_parser(
         "sweep",
-        parents=[json_parent, seed_parent],
+        parents=common,
         help="parallel cache-aware sweep over the registered scenarios",
         description="Run the registered scenario set (experiments, "
         "ablations, chaos configs) in parallel with content-addressed "
@@ -391,11 +456,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cache reads and writes (always execute)",
     )
     p_sweep.add_argument(
-        "--cache-dir", default=None,
-        help="cache root for shared traces and sweep results "
-        "(default: .cache/)",
-    )
-    p_sweep.add_argument(
         "--list", action="store_true",
         help="list the registered scenarios and exit",
     )
@@ -403,7 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser(
         "report",
-        parents=[json_parent],
+        parents=common,
         help="observed quickstart run report",
         description="Run the quickstart scenario under the observability "
         "layer and report per-phase timings, partitioner switching and "
@@ -426,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chaos = sub.add_parser(
         "chaos",
-        parents=[json_parent, seed_parent],
+        parents=common,
         help="Poisson failure sweep through the fault-tolerant simulator",
         description="Sweep seeded Poisson failure schedules through the "
         "fault-tolerant execution simulator and check the recovery "
@@ -474,7 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser(
         "trace",
-        parents=[json_parent],
+        parents=common,
         help="traced quickstart run as Chrome trace-event JSON",
         description="Run a reduced quickstart scenario under causal "
         "tracing and emit Chrome trace-event JSON (Perfetto-loadable): "
@@ -496,9 +556,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.set_defaults(func=trace_main)
 
+    p_serve = sub.add_parser(
+        "serve",
+        parents=common,
+        help="scenario-serving runtime speaking JSONL requests",
+        description="Run the long-running scenario server: bounded "
+        "priority admission, request coalescing on the sweep cache key, "
+        "batched dispatch on a persistent worker pool, and explicit load "
+        "shedding.  Requests are JSONL documents on stdin (default), a "
+        "file, or a local socket.",
+    )
+    p_serve.add_argument(
+        "--requests", default=None, metavar="FILE",
+        help="read JSONL requests from FILE instead of stdin",
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve JSONL connections on a UNIX-domain socket at PATH "
+        "until a client sends {\"op\": \"shutdown\"}",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="persistent worker threads (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="bounded admission queue depth; requests beyond it are "
+        "shed with reason 'queue-full' (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=4, metavar="N",
+        help="max compatible jobs dispatched per batch (default 4)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true",
+        help="skip result-cache reads and writes (always execute)",
+    )
+    p_serve.set_defaults(func=serve_main)
+
     p_diff = sub.add_parser(
         "benchdiff",
-        parents=[json_parent],
+        parents=common,
         help="bench regression gate: compare two BENCH_*.json documents",
         description="Flatten two bench documents to dotted-path leaves "
         "and compare numeric leaves within per-metric tolerances; "
@@ -519,7 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_kb = sub.add_parser(
         "kernels-bench",
-        parents=[json_parent, seed_parent],
+        parents=common,
         help="microbenchmark the scalar/vector kernel pairs",
         description="Time each partitioning kernel pair (scalar reference "
         "vs vectorized) on seeded synthetic inputs and verify their "
@@ -542,7 +640,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_eb = sub.add_parser(
         "execsim-bench",
-        parents=[json_parent, seed_parent],
+        parents=common,
         help="benchmark the execsim cost kernel and regrid reuse cache",
         description="Time the comm-cost kernel pair on synthetic "
         "adjacency problems, replay the regrid reuse cache over the "
@@ -590,6 +688,17 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.verb == "sweep" and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.verb == "serve":
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        if args.queue_capacity < 1:
+            parser.error(
+                f"--queue-capacity must be >= 1, got {args.queue_capacity}"
+            )
+        if args.max_batch < 1:
+            parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+        if args.requests is not None and args.socket is not None:
+            parser.error("--requests and --socket are mutually exclusive")
     if args.verb == "trace":
         if args.steps < 1:
             parser.error(f"--steps must be >= 1, got {args.steps}")

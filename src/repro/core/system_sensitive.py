@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.amr.trace import AdaptationTrace
+from repro.config import SimulatorOptions
 from repro.core.capacity import CapacityCalculator
 from repro.execsim.costmodel import CostModel
 from repro.execsim.selector import StaticSelector
@@ -58,7 +59,11 @@ class SystemSensitivePipeline:
             self.cluster,
             num_procs=num_procs,
             cost_model=self.cost_model,
-            capacities=self.capacities()[: num_procs or self.cluster.num_nodes],
+            options=SimulatorOptions(
+                capacities=self.capacities()[
+                    : num_procs or self.cluster.num_nodes
+                ]
+            ),
         )
         return sim.run(
             trace, StaticSelector(HeterogeneousPartitioner(), self.granularity)

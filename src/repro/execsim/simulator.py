@@ -29,12 +29,14 @@ Gray failures get a *proportional* response instead of the full rollback:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro import obs
 from repro.amr.trace import AdaptationTrace
+from repro.config import SimulatorOptions
 from repro.obs.timeline import StepSample
 from repro.execsim.costmodel import CostModel, per_step_comm_times
 from repro.execsim.reuse import UnitsReuseCache
@@ -48,6 +50,10 @@ from repro.resilience.detector import FailureDetector
 from repro.resilience.durable import DurableCheckpointStore
 from repro.resilience.recovery import FaultTolerance, RecoveryRecord
 from repro.util.stats import max_load_imbalance_pct
+
+#: sentinel distinguishing "kwarg not passed" from an explicit ``None``
+#: on the deprecated ExecutionSimulator keyword shims
+_DEPRECATED: object = object()
 
 __all__ = [
     "StepRecord",
@@ -203,41 +209,77 @@ class ExecutionSimulator:
         num_procs: int | None = None,
         cost_model: CostModel | None = None,
         *,
-        capacities: np.ndarray | None = None,
-        partition_time_scale: float = 1.0,
-        fault_tolerance: FaultTolerance | bool | None = None,
-        incremental: bool = True,
+        options: SimulatorOptions | None = None,
+        capacities: np.ndarray | None = _DEPRECATED,
+        partition_time_scale: float = _DEPRECATED,
+        fault_tolerance: FaultTolerance | bool | None = _DEPRECATED,
+        incremental: bool = _DEPRECATED,
     ) -> None:
-        """``fault_tolerance`` controls the rollback/repartition path.
+        """``options`` bundles the simulator tuning (the supported API).
 
+        :class:`~repro.config.SimulatorOptions` collects ``num_procs``,
+        ``cost_model``, ``capacities``, ``partition_time_scale``,
+        ``fault_tolerance`` and ``incremental`` into one value; the
+        positional ``num_procs`` / ``cost_model`` arguments remain
+        first-class (the paper-era core signature) and override the
+        corresponding options fields when given.
+
+        ``fault_tolerance`` (via options) controls the rollback path:
         ``None`` (default) builds a default :class:`FaultTolerance`
-        whenever the cluster carries failure events, so failure schedules
-        replay natively.  Pass a :class:`FaultTolerance` to tune detection
-        latency / checkpoint costs (or to force checkpoint charging on a
-        failure-free cluster), or ``False`` to disable recovery entirely —
-        failed processors then stall the run until they are repaired.
+        whenever the cluster carries failure events, a
+        :class:`FaultTolerance` tunes detection latency / checkpoint
+        costs, and ``False`` disables recovery entirely — failed
+        processors then stall the run until repaired.  ``incremental``
+        enables the regrid reuse cache
+        (:class:`~repro.execsim.reuse.UnitsReuseCache`), bit-identical
+        to full recomputation.
 
-        ``incremental`` enables the regrid reuse cache
-        (:class:`~repro.execsim.reuse.UnitsReuseCache`): successive
-        snapshots are diffed and unchanged workload/unit arrays are
-        reused instead of rebuilt from scratch.  The incremental path is
-        bit-identical to full recomputation (proven by the differential
-        suite); disable it only to measure its benefit.
+        The keyword forms ``capacities=`` / ``partition_time_scale=`` /
+        ``fault_tolerance=`` / ``incremental=`` are deprecated shims:
+        they keep working (byte-identical results) but emit one
+        :class:`DeprecationWarning` per call.
         """
+        legacy = {
+            name: value
+            for name, value in (
+                ("capacities", capacities),
+                ("partition_time_scale", partition_time_scale),
+                ("fault_tolerance", fault_tolerance),
+                ("incremental", incremental),
+            )
+            if value is not _DEPRECATED
+        }
+        if legacy:
+            warnings.warn(
+                f"ExecutionSimulator keyword(s) {sorted(legacy)} are "
+                f"deprecated; pass options=SimulatorOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        opts = options if options is not None else SimulatorOptions()
+        if legacy:
+            opts = replace(opts, **legacy)
+        if num_procs is not None:
+            opts = replace(opts, num_procs=num_procs)
+        if cost_model is not None:
+            opts = replace(opts, cost_model=cost_model)
+
         self.cluster = cluster
-        self.num_procs = num_procs or cluster.num_nodes
+        self.options = opts
+        self.num_procs = opts.num_procs or cluster.num_nodes
         if self.num_procs > cluster.num_nodes:
             raise ValueError(
                 f"num_procs {self.num_procs} exceeds cluster size "
                 f"{cluster.num_nodes}"
             )
-        self.cost = cost_model or CostModel()
-        self.capacities = capacities
-        self.partition_time_scale = partition_time_scale
-        if fault_tolerance is True:
-            fault_tolerance = FaultTolerance()
-        self.fault_tolerance = fault_tolerance
-        self.incremental = incremental
+        self.cost = opts.cost_model or CostModel()
+        self.capacities = opts.capacities
+        self.partition_time_scale = opts.partition_time_scale
+        ft = opts.fault_tolerance
+        if ft is True:
+            ft = FaultTolerance()
+        self.fault_tolerance = ft
+        self.incremental = opts.incremental
 
     def _resolve_fault_tolerance(self) -> FaultTolerance | None:
         if self.fault_tolerance is False:

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.config import SimulatorOptions
 from repro.resilience.detector import DetectorConfig
 from repro.resilience.recovery import FaultTolerance
 
@@ -122,7 +123,7 @@ def _replay_one(config: ChaosConfig, seed: int, trace, selector,
     cluster = make_cluster()
     cluster.failures.events.extend(schedule.events)
 
-    res = ExecutionSimulator(cluster, fault_tolerance=ft).run(trace, selector)
+    res = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=ft)).run(trace, selector)
 
     planned = trace.meta["num_coarse_steps"]
     executed = sum(r.coarse_steps for r in res.records)
@@ -206,7 +207,7 @@ def run_chaos(config: ChaosConfig | None = None) -> dict:
     # gated with `python -m repro benchdiff`.
     with deterministic_partition_time():
         clean = ExecutionSimulator(
-            make_cluster(), fault_tolerance=False
+            make_cluster(), options=SimulatorOptions(fault_tolerance=False)
         ).run(trace, selector)
         clean_runtime = clean.total_runtime
 
@@ -339,7 +340,7 @@ def _run_cell_sim(config: MatrixConfig, trace, selector, make_cluster,
     cluster = make_cluster()
     mutate_cluster(cluster)
     with obs.collect() as window:
-        res = ExecutionSimulator(cluster, fault_tolerance=ft).run(
+        res = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=ft)).run(
             trace, selector
         )
     planned = trace.meta["num_coarse_steps"]
@@ -652,7 +653,7 @@ def run_chaos_matrix(config: MatrixConfig | None = None) -> dict:
     cells: list[dict] = []
     with deterministic_partition_time():
         clean = ExecutionSimulator(
-            make_cluster(), fault_tolerance=False
+            make_cluster(), options=SimulatorOptions(fault_tolerance=False)
         ).run(trace, selector)
         clean_runtime = clean.total_runtime
         for fault in config.fault_types:

@@ -1,0 +1,179 @@
+"""JSONL transports for the scenario server: streams and a local socket.
+
+Two ways to feed a :class:`~repro.serve.server.ScenarioServer`:
+
+- :func:`run_requests` — the one-shot stream mode behind
+  ``python -m repro serve`` (stdin or ``--requests FILE``): every line
+  is dispatched as it is read, the server drains at end-of-stream, and
+  one ``result`` line per submit (in request order) plus a final
+  ``stats`` line are emitted.
+- :func:`serve_socket` — a local (UNIX-domain) socket accepting
+  line-oriented connections; each request line is answered immediately,
+  ``result`` waits for a terminal job, and ``shutdown`` stops the
+  listener.  One connection per client, many clients at once.
+
+Both share :class:`Session`, which maps client request ids to
+:class:`~repro.serve.server.JobHandle`\\ s.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Iterable, TextIO
+
+from repro.serve.protocol import ProtocolError, encode, parse_request
+from repro.serve.server import ScenarioServer
+
+__all__ = ["Session", "run_requests", "serve_socket"]
+
+
+class Session:
+    """One client's request-id → job-handle map and dispatch logic."""
+
+    def __init__(self, server: ScenarioServer) -> None:
+        self.server = server
+        self.handles: dict[str, Any] = {}
+        self.order: list[str] = []
+        self._auto = 0
+        self.shutdown_requested = False
+
+    def _request_id(self, req: dict[str, Any]) -> str:
+        rid = req.get("id")
+        if rid is None:
+            self._auto += 1
+            rid = f"req-{self._auto}"
+        return str(rid)
+
+    def dispatch(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Execute one parsed request; returns the immediate response."""
+        op = req["op"]
+        if op == "submit":
+            rid = self._request_id(req)
+            handle = self.server.submit(
+                req["scenario"],
+                req.get("params"),
+                priority=req.get("priority", "normal"),
+                timeout_s=req.get("timeout_s"),
+                max_retries=req.get("max_retries"),
+            )
+            self.handles[rid] = handle
+            self.order.append(rid)
+            resp: dict[str, Any] = {
+                "op": "accepted",
+                "id": rid,
+                "job": handle.job_id,
+                "status": handle.status,
+            }
+            if handle.status == "shed":
+                resp["reason"] = handle.record()["error"]
+            return resp
+        if op == "cancel":
+            rid = str(req["id"])
+            handle = self.handles.get(rid)
+            ok = handle.cancel() if handle is not None else False
+            return {"op": "cancel-ack", "id": rid, "ok": ok}
+        if op == "result":
+            rid = str(req["id"])
+            handle = self.handles.get(rid)
+            if handle is None:
+                return {"op": "error", "id": rid, "error": f"unknown id {rid!r}"}
+            handle.wait(req.get("timeout_s"))
+            return {"op": "result", "id": rid, **handle.record()}
+        if op == "stats":
+            return {"op": "stats", "stats": self.server.stats()}
+        if op == "drain":
+            idle = self.server.drain(req.get("timeout_s"))
+            return {"op": "drained", "idle": idle}
+        if op == "shutdown":
+            self.shutdown_requested = True
+            return {"op": "shutdown-ack"}
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+
+def run_requests(
+    server: ScenarioServer,
+    lines: Iterable[str],
+    out: TextIO,
+    *,
+    drain_timeout: float | None = None,
+) -> dict[str, Any]:
+    """One-shot stream mode: dispatch every line, drain, emit results.
+
+    Emits one response line per request as it is processed, then (after
+    the server drains) one ``result`` line per submit in request order
+    and a final ``stats`` line.  Blank lines and ``#`` comments are
+    skipped; malformed lines produce ``error`` responses without killing
+    the stream.  Returns a summary with per-status job counts.
+    """
+    session = Session(server)
+    for line in lines:
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        try:
+            req = parse_request(line)
+        except ProtocolError as exc:
+            print(encode({"op": "error", "error": str(exc)}), file=out)
+            continue
+        print(encode(session.dispatch(req)), file=out)
+        if session.shutdown_requested:
+            break
+    server.drain(drain_timeout)
+    by_status: dict[str, int] = {}
+    for rid in session.order:
+        handle = session.handles[rid]
+        handle.wait(drain_timeout)
+        record = handle.record()
+        by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+        print(encode({"op": "result", "id": rid, **record}), file=out)
+    stats = server.stats()
+    print(encode({"op": "stats", "stats": stats}), file=out)
+    return {
+        "requests": len(session.order),
+        "by_status": dict(sorted(by_status.items())),
+        "stats": stats,
+    }
+
+
+class _SocketHandler(socketserver.StreamRequestHandler):
+    """One JSONL connection: a line in, a response line out."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via socket test
+        session = Session(self.server.scenario_server)  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            try:
+                req = parse_request(line)
+                resp = session.dispatch(req)
+            except ProtocolError as exc:
+                resp = {"op": "error", "error": str(exc)}
+            self.wfile.write((encode(resp) + "\n").encode())
+            self.wfile.flush()
+            if session.shutdown_requested:
+                self.server.shutdown_event.set()  # type: ignore[attr-defined]
+                return
+
+
+class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+def serve_socket(server: ScenarioServer, path: str) -> None:
+    """Serve JSONL connections on a UNIX-domain socket at ``path``.
+
+    Blocks until a client sends ``{"op": "shutdown"}``.  The scenario
+    server itself is shut down by the caller, not here.
+    """
+    sock = _ThreadingUnixServer(path, _SocketHandler)
+    sock.scenario_server = server  # type: ignore[attr-defined]
+    sock.shutdown_event = threading.Event()  # type: ignore[attr-defined]
+    listener = threading.Thread(target=sock.serve_forever, daemon=True)
+    listener.start()
+    try:
+        sock.shutdown_event.wait()  # type: ignore[attr-defined]
+    finally:
+        sock.shutdown()
+        sock.server_close()

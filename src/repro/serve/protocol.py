@@ -1,0 +1,87 @@
+"""Wire protocol for the scenario-serving runtime.
+
+Requests and responses are single-line JSON documents (JSONL), the
+format both ``python -m repro serve`` transports speak (stdin/file
+streams and the local socket).  A request names an operation::
+
+    {"op": "submit", "id": "r1", "scenario": "table2", "priority": "high"}
+    {"op": "cancel", "id": "r1"}
+    {"op": "result", "id": "r1", "timeout_s": 60}
+    {"op": "stats"}
+    {"op": "drain"}
+    {"op": "shutdown"}
+
+``submit`` accepts optional ``params`` (overrides merged onto the
+registered scenario's parameters — the merged set is the job's cache
+identity), ``priority`` (one of :data:`PRIORITIES`), ``timeout_s`` and
+``max_retries``.  Responses echo the client ``id`` and carry the job's
+terminal record; malformed requests produce ``{"op": "error", ...}``
+instead of killing the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "PRIORITIES",
+    "OPS",
+    "ProtocolError",
+    "parse_request",
+    "encode",
+]
+
+#: admission classes, highest first — the queue drains in this order
+PRIORITIES = ("high", "normal", "low")
+
+#: operations the request stream understands
+OPS = ("submit", "cancel", "result", "stats", "drain", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed request line (bad JSON, unknown op, bad field)."""
+
+
+def parse_request(line: str) -> dict[str, Any]:
+    """Parse and validate one JSONL request line.
+
+    Returns the request document; raises :class:`ProtocolError` with a
+    client-presentable message on any malformation.
+    """
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(doc).__name__}")
+    op = doc.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {list(OPS)}")
+    if op == "submit":
+        if not isinstance(doc.get("scenario"), str) or not doc["scenario"]:
+            raise ProtocolError("submit requires a non-empty 'scenario' name")
+        params = doc.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise ProtocolError("'params' must be a JSON object")
+        priority = doc.get("priority", "normal")
+        if priority not in PRIORITIES:
+            raise ProtocolError(
+                f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"
+            )
+        timeout_s = doc.get("timeout_s")
+        if timeout_s is not None and (
+            not isinstance(timeout_s, (int, float)) or timeout_s <= 0
+        ):
+            raise ProtocolError("'timeout_s' must be a positive number")
+    if op in ("cancel", "result") and "id" not in doc:
+        raise ProtocolError(f"{op} requires the 'id' of a prior submit")
+    return doc
+
+
+def encode(document: dict[str, Any]) -> str:
+    """One response document as a compact JSONL line (no trailing newline)."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))

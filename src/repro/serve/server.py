@@ -1,0 +1,565 @@
+"""The long-running scenario server and its client API.
+
+:class:`ScenarioServer` layers the serving runtime on the sweep engine:
+requests name a registered :class:`~repro.sweep.scenario.Scenario`
+(optionally with parameter overrides), are admitted through the bounded
+:class:`~repro.serve.queue.JobQueue` (or shed with an explicit reason),
+coalesced by content-address onto one execution when identical requests
+are already pending (the sweep cache key *is* the dedup key), batched
+per worker dispatch, and executed by the
+:class:`~repro.serve.scheduler.Scheduler`'s persistent pool with
+timeouts, cancellation and retry-on-worker-death.  Completed results are
+written to a result cache (in-memory by default, the on-disk sweep
+:class:`~repro.sweep.cache.ResultCache` when ``cache_dir`` is given), so
+repeat requests are served without re-execution.
+
+Clients hold a :class:`JobHandle`: ``result()`` blocks for the outcome
+(raising :class:`~repro.serve.queue.ShedError` /
+:class:`~repro.serve.queue.JobCancelled` /
+:class:`~repro.serve.queue.JobFailed` as appropriate), ``cancel()``
+withdraws a pending request, ``record()`` snapshots the job document.
+:class:`ServerHandle` is the stable public facade over a server —
+``submit`` / ``cancel`` / ``drain`` / ``stats`` / ``shutdown`` — the
+surface exported through :mod:`repro.api`.
+
+Progress is streamed three ways at once: per-job event logs, the
+:mod:`repro.obs` timeline (``serve.*`` events) and counters
+(``serve.submitted`` / ``serve.shed{reason}`` / ``serve.dedup_hits`` /
+...), and optional push listeners (the JSONL transports in
+:mod:`repro.serve.jsonl` subscribe one to stream events to clients).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro import obs
+from repro.agents.message_center import DeliveryPolicy
+from repro.partitioners import deterministic_partition_time
+from repro.serve.queue import (
+    SHED_SHUTTING_DOWN,
+    SHED_UNKNOWN_SCENARIO,
+    Job,
+    JobCancelled,
+    JobFailed,
+    JobQueue,
+    ShedError,
+)
+from repro.serve.scheduler import Scheduler
+from repro.sweep.cache import ResultCache, cache_key
+from repro.sweep.runner import (
+    DEFAULT_SCENARIO_MODULES,
+    _import_scenario_modules,
+    _warm_requirement,
+)
+from repro.sweep.scenario import (
+    ScenarioContext,
+    derive_seed,
+    get_scenario,
+    jsonify,
+)
+
+__all__ = ["JobHandle", "ScenarioServer", "ServerHandle"]
+
+
+class _MemoryCache:
+    """Dict-backed stand-in for :class:`ResultCache` (default, no disk)."""
+
+    def __init__(self) -> None:
+        self._docs: dict[str, dict[str, Any]] = {}
+        self.directory = None
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached document for ``key``, or ``None`` on a miss."""
+        return self._docs.get(key)
+
+    def put(self, key: str, document: dict[str, Any]) -> None:
+        """Store ``document`` under ``key``."""
+        self._docs[key] = document
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+
+class JobHandle:
+    """A client's view of one submitted request.
+
+    Multiple handles may share one underlying job (request coalescing);
+    cancelling a shared handle only detaches this client.
+    """
+
+    def __init__(self, job: Job, server: "ScenarioServer") -> None:
+        self._job = job
+        self._server = server
+        self._detached = False
+
+    @property
+    def job_id(self) -> str:
+        """Server-assigned job identifier (``job-<seq>``)."""
+        return f"job-{self._job.seq}"
+
+    @property
+    def key(self) -> str:
+        """The job's content-address (the sweep cache key)."""
+        return self._job.key
+
+    @property
+    def status(self) -> str:
+        """Current job status (``cancelled`` for a detached handle)."""
+        if self._detached:
+            return "cancelled"
+        return self._job.status
+
+    @property
+    def done(self) -> bool:
+        """True once the job (or this handle's detachment) is terminal."""
+        return self._detached or self._job.terminal
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal; True when the job finished in time."""
+        if self._detached:
+            return True
+        return self._job.done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The job's result, blocking up to ``timeout`` seconds.
+
+        Raises :class:`ShedError` for shed requests,
+        :class:`JobCancelled` for cancelled ones, :class:`JobFailed` for
+        failures and timeouts, and :class:`TimeoutError` when the wait
+        itself expires.
+        """
+        if self._detached:
+            raise JobCancelled(f"{self.job_id} cancelled by this client")
+        if not self._job.done.wait(timeout):
+            raise TimeoutError(
+                f"{self.job_id} still {self._job.status!r} after {timeout}s"
+            )
+        job = self._job
+        if job.status == "done":
+            return job.result
+        if job.status == "shed":
+            raise ShedError(job.error or "shed")
+        if job.status == "cancelled":
+            raise JobCancelled(f"{self.job_id} was cancelled")
+        raise JobFailed(f"{self.job_id} {job.status}: {job.error}")
+
+    def cancel(self) -> bool:
+        """Withdraw this request; True when anything was cancelled.
+
+        A pending sole-subscriber job is removed from the queue and
+        terminalized; a running one gets a cooperative cancel flag (its
+        result is discarded if the flag wins the commit race).  When
+        other clients share the job, only this handle detaches.
+        """
+        if self._detached or self._job.terminal:
+            return False
+        ok = self._server._cancel(self._job)
+        if ok:
+            self._detached = True
+        return ok
+
+    def events(self) -> list[dict[str, Any]]:
+        """The job's event log as JSON-ready records."""
+        return [
+            {"kind": kind, "t": t, **attrs}
+            for kind, t, attrs in list(self._job.events)
+        ]
+
+    def record(self) -> dict[str, Any]:
+        """Snapshot of the job document (the protocol's result shape)."""
+        doc = self._job.to_dict()
+        if self._detached:
+            doc["status"] = "cancelled"
+        return doc
+
+
+class ScenarioServer:
+    """The concurrent scenario-serving runtime.
+
+    ``workers`` threads drain a ``queue_capacity``-bounded priority
+    queue in batches of up to ``max_batch`` compatible jobs.  With
+    ``start=False`` the pool stays parked until :meth:`start` — the
+    deterministic mode tests and benchmarks use to fill the queue before
+    any draining happens.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        max_batch: int = 4,
+        base_seed: int = 0,
+        cache: ResultCache | _MemoryCache | None = None,
+        cache_dir: str | None = None,
+        use_cache: bool = True,
+        retry_policy: DeliveryPolicy | None = None,
+        max_retries: int = 2,
+        default_timeout_s: float | None = None,
+        scenario_modules: Sequence[str] = DEFAULT_SCENARIO_MODULES,
+        death_injector: Callable[[Job, int], str | None] | None = None,
+        start: bool = True,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        _import_scenario_modules(scenario_modules)
+        self.base_seed = base_seed
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.max_retries = max_retries
+        self.default_timeout_s = default_timeout_s
+        if cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            self.cache = ResultCache(Path(cache_dir) / "serve")
+        else:
+            self.cache = _MemoryCache()
+        self.queue = JobQueue(queue_capacity)
+        self.scheduler = Scheduler(
+            self.queue,
+            self._execute_job,
+            workers=workers,
+            max_batch=max_batch,
+            retry_policy=retry_policy,
+            on_terminal=self._on_terminal,
+            warm_requirement=self._warm,
+            death_injector=death_injector,
+            on_event=self._notify,
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight: dict[str, Job] = {}
+        self._stats: dict[str, int] = {}
+        self._listeners: list[Callable[[Job, str, float, dict], None]] = []
+        self._seq = 0
+        self._closed = False
+        self._epoch = time.perf_counter()
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        self.scheduler.start()
+
+    @property
+    def running(self) -> bool:
+        """True while the worker pool is up and admission is open."""
+        return self.scheduler.started and not self._closed
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no job is pending or running; True when idle."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._idle:
+            while self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admission, drain the queue and join the workers."""
+        with self._lock:
+            self._closed = True
+        self.scheduler.stop(wait=wait)
+
+    def __enter__(self) -> "ScenarioServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- submission --------------------------------------------------------------
+
+    def _count(self, stat: str, amount: int = 1) -> None:
+        with self._lock:
+            self._stats[stat] = self._stats.get(stat, 0) + amount
+
+    def _notify(self, job: Job, kind: str, t: float, attrs: dict) -> None:
+        for listener in list(self._listeners):
+            try:
+                listener(job, kind, t, attrs)
+            except Exception:  # noqa: BLE001 - listeners cannot kill workers
+                pass
+
+    def add_listener(
+        self, listener: Callable[[Job, str, float, dict], None]
+    ) -> None:
+        """Subscribe a push listener to every job event."""
+        self._listeners.append(listener)
+
+    def _emit(self, job: Job, kind: str, **attrs: Any) -> None:
+        t = time.perf_counter()
+        job.events.append((kind, t, attrs))
+        obs.get_timeline().event(f"serve.{kind}", t, job=f"job-{job.seq}",
+                                 scenario=job.name, **attrs)
+        self._notify(job, kind, t, attrs)
+
+    def _make_job(self, name: str, params: dict[str, Any],
+                  priority: str) -> Job:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        return Job(
+            name=name, params=params, priority=priority, seq=seq,
+            submitted_t=time.perf_counter(),
+        )
+
+    def _shed_job(self, job: Job, reason: str) -> JobHandle:
+        job.status = "shed"
+        job.error = reason
+        job.finished_t = time.perf_counter()
+        job.committed = True
+        job.done.set()
+        self._count("shed")
+        self._count(f"shed:{reason}")
+        obs.counter("serve.shed", reason=reason).inc()
+        self._emit(job, "shed", reason=reason)
+        return JobHandle(job, self)
+
+    def submit(
+        self,
+        name: str,
+        params: dict[str, Any] | None = None,
+        *,
+        priority: str = "normal",
+        timeout_s: float | None = None,
+        max_retries: int | None = None,
+    ) -> JobHandle:
+        """Submit one scenario request; never blocks, never raises on load.
+
+        Admission control is explicit: a saturated queue, a closed
+        server or an unknown scenario name produce a handle whose status
+        is ``shed`` (with the machine-readable reason) rather than an
+        exception or an unbounded wait.  Identical pending requests —
+        same scenario, same merged parameters — coalesce onto one
+        execution, and previously computed results are served from the
+        result cache without executing anything.
+        """
+        self._count("submitted")
+        obs.counter("serve.submitted", priority=priority).inc()
+        try:
+            scenario = get_scenario(name)
+        except KeyError:
+            job = self._make_job(name, dict(params or {}), priority)
+            return self._shed_job(job, SHED_UNKNOWN_SCENARIO)
+        merged = {**scenario.params, **(params or {})}
+        key = cache_key(name, merged, version=scenario.version)
+        job = self._make_job(name, merged, priority)
+        job.key = key
+        job.seed = derive_seed(name, merged, self.base_seed)
+        job.timeout_s = timeout_s if timeout_s is not None else self.default_timeout_s
+        job.max_retries = (
+            max_retries if max_retries is not None else self.max_retries
+        )
+        job.requires = tuple(scenario.requires)
+
+        if self._closed:
+            return self._shed_job(job, SHED_SHUTTING_DOWN)
+
+        if self.use_cache:
+            doc = self.cache.get(key)
+            if doc is not None:
+                job.status = "done"
+                job.result = doc.get("result")
+                job.cached = True
+                job.committed = True
+                job.finished_t = time.perf_counter()
+                job.done.set()
+                self._count("cache_hits")
+                obs.counter("serve.cache_hits").inc()
+                self._emit(job, "cache-hit")
+                return JobHandle(job, self)
+
+        # One locked region covers the twin lookup, the queue offer and
+        # the inflight insert, so two racing submits of the same key can
+        # never both admit an execution.
+        with self._lock:
+            twin = self._inflight.get(key)
+            if twin is not None and not twin.terminal:
+                twin.subscribers += 1
+                self._stats["dedup_hits"] = self._stats.get("dedup_hits", 0) + 1
+                reason = None
+            else:
+                twin = None
+                reason = self.queue.offer(job)
+                if reason is None:
+                    self._inflight[key] = job
+                    self._stats["admitted"] = self._stats.get("admitted", 0) + 1
+        if twin is not None:
+            obs.counter("serve.dedup_hits").inc()
+            self._emit(twin, "dedup-attach", subscribers=twin.subscribers)
+            return JobHandle(twin, self)
+        if reason is not None:
+            return self._shed_job(job, reason)
+        obs.counter("serve.admitted", priority=priority).inc()
+        self._emit(job, "queued", priority=priority)
+        return JobHandle(job, self)
+
+    def submit_many(
+        self, requests: Sequence[dict[str, Any]]
+    ) -> list[JobHandle]:
+        """Submit a batch of request documents; returns handles in order."""
+        return [
+            self.submit(
+                req["scenario"],
+                req.get("params"),
+                priority=req.get("priority", "normal"),
+                timeout_s=req.get("timeout_s"),
+                max_retries=req.get("max_retries"),
+            )
+            for req in requests
+        ]
+
+    # -- cancellation ------------------------------------------------------------
+
+    def _finalize(self, job: Job, status: str, **attrs: Any) -> bool:
+        """Terminalize a job outside the scheduler (exactly-once guard)."""
+        with job.lock:
+            if job.committed:
+                return False
+            job.committed = True
+            job.status = status
+            job.finished_t = time.perf_counter()
+        self._emit(job, status, **attrs)
+        job.done.set()
+        self._on_terminal(job)
+        return True
+
+    def _cancel(self, job: Job) -> bool:
+        with job.lock:
+            if job.committed:
+                return False
+            job.subscribers -= 1
+            sole = job.subscribers <= 0
+            if sole:
+                job.cancel_requested = True
+        if not sole:
+            self._emit(job, "detach", subscribers=job.subscribers)
+            return True
+        if self.queue.remove(job):
+            # still pending: terminalize right here
+            if self._finalize(job, "cancelled", where="pending"):
+                self._count("cancelled")
+                obs.counter("serve.cancelled", where="pending").inc()
+            return True
+        # already running: the cooperative flag wins or loses the commit
+        # race in the scheduler's post-run check
+        self._emit(job, "cancel-requested")
+        self._count("cancel_requested")
+        return True
+
+    # -- execution (called from worker threads) ----------------------------------
+
+    def _warm(self, req: str) -> None:
+        _warm_requirement(
+            req, Path(self.cache_dir) if self.cache_dir else None
+        )
+
+    def _execute_job(self, job: Job) -> Any:
+        scenario = get_scenario(job.name)
+        ctx = ScenarioContext(
+            params=dict(job.params),
+            seed=job.seed,
+            cache_dir=Path(self.cache_dir) if self.cache_dir else None,
+        )
+        with obs.span("serve.job", scenario=job.name), \
+                deterministic_partition_time():
+            return jsonify(scenario.run(ctx))
+
+    def _on_terminal(self, job: Job) -> None:
+        if job.status == "done" and not job.cached:
+            self._count("executions")
+            if self.use_cache:
+                self.cache.put(job.key, {
+                    "scenario": job.name,
+                    "params": dict(job.params),
+                    "seed": job.seed,
+                    "result": job.result,
+                })
+        if job.status in ("failed", "timeout"):
+            self._count(job.status)
+        if job.status == "done":
+            self._count("completed")
+        if job.wait_s is not None:
+            obs.histogram("serve.job_wait_seconds").observe(job.wait_s)
+        with self._idle:
+            self._inflight.pop(job.key, None)
+            if not self._inflight:
+                self._idle.notify_all()
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of the server's counters and queue state."""
+        with self._lock:
+            counters = dict(sorted(self._stats.items()))
+            inflight = len(self._inflight)
+        return {
+            "counters": counters,
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.capacity,
+            "queue_by_priority": self.queue.depth_by_priority(),
+            "inflight": inflight,
+            "workers": self.scheduler.workers,
+            "max_batch": self.scheduler.max_batch,
+            "running": self.running,
+            "uptime_wall_s": time.perf_counter() - self._epoch,
+        }
+
+
+class ServerHandle:
+    """The stable client facade over a :class:`ScenarioServer`.
+
+    This is the surface :mod:`repro.api` exports: construct one (it owns
+    a private server built from the given knobs, or wraps an existing
+    ``server=``), ``submit`` requests, ``drain``, read ``stats``, and
+    ``close`` — usable as a context manager::
+
+        with ServerHandle(workers=4) as pragma:
+            handle = pragma.submit("table2", priority="high")
+            print(handle.result(timeout=60))
+    """
+
+    def __init__(self, server: ScenarioServer | None = None, **kwargs: Any) -> None:
+        self._server = server if server is not None else ScenarioServer(**kwargs)
+
+    @property
+    def server(self) -> ScenarioServer:
+        """The underlying server (advanced access)."""
+        return self._server
+
+    def submit(self, name: str, params: dict[str, Any] | None = None,
+               **kwargs: Any) -> JobHandle:
+        """Submit one scenario request (see :meth:`ScenarioServer.submit`)."""
+        return self._server.submit(name, params, **kwargs)
+
+    def submit_many(self, requests: Sequence[dict[str, Any]]) -> list[JobHandle]:
+        """Submit a batch of request documents; handles in order."""
+        return self._server.submit_many(requests)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the server is idle; True when it drained in time."""
+        return self._server.drain(timeout)
+
+    def stats(self) -> dict[str, Any]:
+        """Server counter/queue snapshot."""
+        return self._server.stats()
+
+    def close(self) -> None:
+        """Shut the server down (graceful: drains admitted work)."""
+        self._server.shutdown()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,72 @@
+"""Regenerate the public-API surface snapshot (``api_surface.json``).
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/golden/regen_api_surface.py
+
+The snapshot records, for every name exported by the :mod:`repro.api`
+facade, its kind, defining module/qualname and call signature, plus the
+top-level ``repro.__all__`` re-export list.  ``tests/test_api_surface.py``
+recomputes the same description and fails on any drift, so additions,
+removals and signature changes to the public surface are always
+explicit, reviewed diffs.  Only regenerate after an *intended* API
+change, in the same commit as the change itself.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+HERE = Path(__file__).parent
+
+#: memory addresses in default-value reprs are run-dependent noise
+_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _signature(obj: Any) -> str | None:
+    """A stable signature string for ``obj``, or None when unavailable."""
+    try:
+        sig = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return None
+    return _ADDR.sub("0x...", sig)
+
+
+def describe_surface() -> dict[str, Any]:
+    """The committed description of the public API surface."""
+    import repro
+    import repro.api
+
+    exports: dict[str, Any] = {}
+    for name in sorted(repro.api.__all__):
+        obj = getattr(repro.api, name)
+        if inspect.isclass(obj):
+            kind = "class"
+        elif inspect.isfunction(obj):
+            kind = "function"
+        else:
+            kind = type(obj).__name__
+        exports[name] = {
+            "kind": kind,
+            "module": getattr(obj, "__module__", None),
+            "qualname": getattr(obj, "__qualname__", name),
+            "signature": _signature(obj),
+        }
+    return {
+        "repro.api": exports,
+        "repro.__all__": sorted(repro.__all__),
+    }
+
+
+def main() -> None:
+    out = HERE / "api_surface.json"
+    out.write_text(json.dumps(describe_surface(), indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

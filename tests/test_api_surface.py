@@ -1,0 +1,81 @@
+"""The public API surface matches its committed snapshot.
+
+``repro.api`` is the stable facade; ``tests/golden/api_surface.json``
+records every export's kind, defining module and signature, plus the
+top-level ``repro.__all__`` list.  Any drift — an addition, a removal,
+a signature change — fails here until the snapshot is regenerated
+deliberately (``PYTHONPATH=src python tests/golden/regen_api_surface.py``)
+in the same commit as the change.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TESTS = Path(__file__).parent
+GOLDEN = TESTS / "golden" / "api_surface.json"
+REGEN = TESTS / "golden" / "regen_api_surface.py"
+
+_HINT = (
+    "public API surface drifted from tests/golden/api_surface.json; if the "
+    "change is intended, regenerate with "
+    "'PYTHONPATH=src python tests/golden/regen_api_surface.py'"
+)
+
+
+def _describe_surface():
+    """The live surface, computed by the committed regen script itself."""
+    spec = importlib.util.spec_from_file_location("_regen_api_surface", REGEN)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.describe_surface()
+
+
+@pytest.fixture(scope="module")
+def surfaces():
+    return json.loads(GOLDEN.read_text()), _describe_surface()
+
+
+def test_facade_names_match_snapshot(surfaces):
+    golden, live = surfaces
+    assert sorted(live["repro.api"]) == sorted(golden["repro.api"]), _HINT
+
+
+def test_facade_entries_match_snapshot(surfaces):
+    golden, live = surfaces
+    for name in golden["repro.api"]:
+        assert live["repro.api"].get(name) == golden["repro.api"][name], (
+            f"{name}: {_HINT}"
+        )
+
+
+def test_top_level_all_matches_snapshot(surfaces):
+    golden, live = surfaces
+    assert live["repro.__all__"] == golden["repro.__all__"], _HINT
+
+
+def test_top_level_reexports_facade():
+    """Every facade name is importable from the bare ``repro`` package."""
+    import repro
+    import repro.api
+
+    for name in repro.api.__all__:
+        assert name in repro.__all__, f"{name} missing from repro.__all__"
+        assert getattr(repro, name) is getattr(repro.api, name)
+
+
+def test_all_exports_resolve():
+    """Everything in ``repro.__all__`` is an attribute or a submodule."""
+    import importlib
+
+    import repro
+
+    for name in repro.__all__:
+        if getattr(repro, name, None) is not None:
+            continue
+        # submodules are importable on demand rather than eagerly bound
+        assert importlib.import_module(f"repro.{name}") is not None, name

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import obs
+from repro.config import SimulatorOptions
 from repro.execsim import ExecutionSimulator, StaticSelector
 from repro.gridsys import FailureEvent, sp2_blue_horizon
 from repro.partitioners import ISPPartitioner
@@ -137,7 +138,7 @@ class TestSimulatorIntegration:
         cluster = sp2_blue_horizon(8)
         cluster.failures.add(FailureEvent(1, 200.0, 260.0))
         ft = FaultTolerance(checkpoint_dir=str(tmp_path))
-        res = ExecutionSimulator(cluster, fault_tolerance=ft).run(
+        res = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=ft)).run(
             small_rm3d_trace, StaticSelector(ISPPartitioner())
         )
         planned = small_rm3d_trace.meta["num_coarse_steps"]
@@ -154,7 +155,7 @@ class TestSimulatorIntegration:
         cluster = sp2_blue_horizon(8)
         cluster.failures.add(FailureEvent(1, 200.0, 260.0))
         res = ExecutionSimulator(
-            cluster, fault_tolerance=FaultTolerance()
+            cluster, options=SimulatorOptions(fault_tolerance=FaultTolerance())
         ).run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
         assert res.num_recoveries >= 1   # in-memory path unchanged
 
@@ -166,7 +167,7 @@ class TestSimulatorIntegration:
         def run(ft):
             cluster = sp2_blue_horizon(8)
             cluster.failures.add(FailureEvent(1, 200.0, 260.0))
-            return ExecutionSimulator(cluster, fault_tolerance=ft).run(
+            return ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=ft)).run(
                 small_rm3d_trace, StaticSelector(ISPPartitioner())
             )
 

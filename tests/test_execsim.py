@@ -3,6 +3,7 @@
 import pytest
 
 from repro.amr.trace import AdaptationTrace
+from repro.config import SimulatorOptions
 from repro.execsim import (
     CostModel,
     ExecutionSimulator,
@@ -123,7 +124,7 @@ class TestScalingBehaviors:
         equal = ExecutionSimulator(cluster).run(
             small_rm3d_trace, StaticSelector(EqualPartitioner())
         )
-        adaptive = ExecutionSimulator(cluster, capacities=caps).run(
+        adaptive = ExecutionSimulator(cluster, options=SimulatorOptions(capacities=caps)).run(
             small_rm3d_trace, StaticSelector(HeterogeneousPartitioner())
         )
         assert adaptive.total_runtime < equal.total_runtime
@@ -186,11 +187,11 @@ class TestFaultTolerantReplay:
 
         cluster = sp2_blue_horizon(4)
         cluster.failures.add(FailureEvent(node_id=2, t_fail=0.0, t_recover=50.0))
-        sim = ExecutionSimulator(cluster, fault_tolerance=False)
+        sim = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=False))
         res = sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
         assert res.num_recoveries == 0
         clean = ExecutionSimulator(
-            sp2_blue_horizon(4), fault_tolerance=False
+            sp2_blue_horizon(4), options=SimulatorOptions(fault_tolerance=False)
         ).run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
         assert res.total_runtime == pytest.approx(
             clean.total_runtime + 50.0, rel=1e-4
@@ -203,6 +204,6 @@ class TestFaultTolerantReplay:
 
         cluster = linux_cluster(4, seed=1)
         cluster.failures.add(FailureEvent(node_id=2, t_fail=0.0))
-        sim = ExecutionSimulator(cluster, fault_tolerance=False)
+        sim = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=False))
         with pytest.raises(RuntimeError, match="fault tolerance"):
             sim.run(small_rm3d_trace, StaticSelector(ISPPartitioner()))

@@ -15,6 +15,7 @@ from repro.agents import (
 )
 from repro.agents.component import ComponentState
 from repro.agents.message_center import DEDUP_WINDOW
+from repro.config import SimulatorOptions
 from repro.execsim import ExecutionSimulator, StaticSelector
 from repro.gridsys import (
     DegradedWindow,
@@ -325,7 +326,7 @@ class TestFlappingReplay:
         cluster = sp2_blue_horizon(procs)
         for spec in flaps:
             cluster.failures.add_flapping(spec)
-        sim = ExecutionSimulator(cluster, fault_tolerance=ft)
+        sim = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=ft))
         with obs.collect() as window:
             res = sim.run(trace, StaticSelector(ISPPartitioner()))
         return res, window

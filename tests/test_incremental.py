@@ -21,6 +21,7 @@ from repro.amr.hierarchy import GridHierarchy
 from repro.amr.regrid import Regridder, RegridPolicy
 from repro.amr.trace import AdaptationTrace, Snapshot
 from repro.amr.workload import composite_load_map, update_composite_load_map
+from repro.config import SimulatorOptions
 from repro.execsim import ExecutionSimulator, StaticSelector
 from repro.execsim.reuse import REUSE_DIRTY_THRESHOLD, UnitsReuseCache
 from repro.gridsys import sp2_blue_horizon
@@ -253,10 +254,10 @@ class TestSimulatorEquivalence:
     """Incremental runs must be byte-identical to full-recompute runs."""
 
     def _assert_runs_identical(self, trace, cluster):
-        res_inc = ExecutionSimulator(cluster, incremental=True).run(
+        res_inc = ExecutionSimulator(cluster, options=SimulatorOptions(incremental=True)).run(
             trace, StaticSelector(ISPPartitioner())
         )
-        res_full = ExecutionSimulator(cluster, incremental=False).run(
+        res_full = ExecutionSimulator(cluster, options=SimulatorOptions(incremental=False)).run(
             trace, StaticSelector(ISPPartitioner())
         )
         assert len(res_inc.records) == len(res_full.records)

@@ -220,11 +220,12 @@ class TestWorkloadDifferential:
 
 # -- golden corpus ------------------------------------------------------------
 
-# costmodel.json is the comm-cost kernel corpus (different schema);
-# tests/test_execsim_kernels.py owns it.
+# costmodel.json is the comm-cost kernel corpus (different schema) owned
+# by tests/test_execsim_kernels.py; api_surface.json is the public-API
+# snapshot owned by tests/test_api_surface.py.
 GOLDEN = sorted(
     p for p in (TESTS / "golden").glob("*.json")
-    if p.name != "costmodel.json"
+    if p.name not in ("costmodel.json", "api_surface.json")
 )
 
 

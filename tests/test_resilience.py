@@ -12,6 +12,7 @@ from repro.agents import (
     MigrateActuator,
 )
 from repro.agents.component import ComponentState
+from repro.config import SimulatorOptions
 from repro.execsim import ExecutionSimulator, StaticSelector
 from repro.gridsys import (
     FailureEvent,
@@ -229,7 +230,7 @@ class TestResilientReplay:
                 seed=seed,
             ).events
         )
-        sim = ExecutionSimulator(cluster, fault_tolerance=ft)
+        sim = ExecutionSimulator(cluster, options=SimulatorOptions(fault_tolerance=ft))
         return sim.run(trace, StaticSelector(ISPPartitioner()))
 
     def test_quickstart_under_poisson_completes(self, small_rm3d_trace):
@@ -270,7 +271,7 @@ class TestResilientReplay:
         self, small_rm3d_trace
     ):
         res = ExecutionSimulator(
-            sp2_blue_horizon(4), fault_tolerance=FaultTolerance()
+            sp2_blue_horizon(4), options=SimulatorOptions(fault_tolerance=FaultTolerance())
         ).run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
         assert res.total_checkpoint_time > 0.0
         assert res.num_recoveries == 0
@@ -491,7 +492,9 @@ class TestCheckpointAliasing:
         monkeypatch.setattr(simulator_mod, "CheckpointStore", Spy)
         for incremental in (True, False):
             ExecutionSimulator(
-                sp2_blue_horizon(4), fault_tolerance=FaultTolerance(),
-                incremental=incremental,
+                sp2_blue_horizon(4),
+                options=SimulatorOptions(
+                    fault_tolerance=FaultTolerance(), incremental=incremental
+                ),
             ).run(small_rm3d_trace, StaticSelector(ISPPartitioner()))
         assert captured == [True, False]
