@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -15,8 +16,10 @@ __all__ = ["PartitionError", "Partition", "Partitioner",
            "deterministic_partition_time"]
 
 #: when set, partition() reports this modeled per-unit cost instead of
-#: measured wall-clock (see :func:`deterministic_partition_time`)
-_MODELED_SECONDS_PER_UNIT: float | None = None
+#: measured wall-clock (see :func:`deterministic_partition_time`).
+#: Thread-local: the serving runtime scopes the override per worker
+#: thread, so concurrent jobs must not see each other's set/restore.
+_MODELED_TIME = threading.local()
 
 #: default modeled cost — the order of the measured per-unit cost of the
 #: ISP-family partitioners on this codebase
@@ -34,15 +37,16 @@ def deterministic_partition_time(
     :meth:`Partitioner.partition`), so this context is only needed to
     *change* the per-unit cost — e.g. the scenario sweep engine
     (:mod:`repro.sweep`) pins it explicitly so sweep digests are
-    insensitive to any future default change.
+    insensitive to any future default change.  The override is
+    thread-local, so concurrent server workers each scoping it cannot
+    clobber (or leak) each other's value.
     """
-    global _MODELED_SECONDS_PER_UNIT
-    prev = _MODELED_SECONDS_PER_UNIT
-    _MODELED_SECONDS_PER_UNIT = float(seconds_per_unit)
+    prev = getattr(_MODELED_TIME, "seconds_per_unit", None)
+    _MODELED_TIME.seconds_per_unit = float(seconds_per_unit)
     try:
         yield
     finally:
-        _MODELED_SECONDS_PER_UNIT = prev
+        _MODELED_TIME.seconds_per_unit = prev
 
 
 class PartitionError(RuntimeError):
@@ -208,11 +212,9 @@ class Partitioner(abc.ABC):
         if measure_wall_clock:
             elapsed = time.perf_counter() - t0
         else:
-            per_unit = (
-                _MODELED_SECONDS_PER_UNIT
-                if _MODELED_SECONDS_PER_UNIT is not None
-                else DEFAULT_SECONDS_PER_UNIT
-            )
+            per_unit = getattr(_MODELED_TIME, "seconds_per_unit", None)
+            if per_unit is None:
+                per_unit = DEFAULT_SECONDS_PER_UNIT
             elapsed = per_unit * len(units)
         return Partition(
             units=units,

@@ -18,6 +18,7 @@ Both share :class:`Session`, which maps client request ids to
 
 from __future__ import annotations
 
+import os
 import socketserver
 import threading
 from typing import Any, Iterable, TextIO
@@ -165,8 +166,15 @@ def serve_socket(server: ScenarioServer, path: str) -> None:
     """Serve JSONL connections on a UNIX-domain socket at ``path``.
 
     Blocks until a client sends ``{"op": "shutdown"}``.  The scenario
-    server itself is shut down by the caller, not here.
+    server itself is shut down by the caller, not here.  A pre-existing
+    socket file at ``path`` (a previous run, or a crash that never
+    cleaned up) is unlinked before binding — SO_REUSEADDR does nothing
+    for AF_UNIX — and the file is removed again on exit.
     """
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
     sock = _ThreadingUnixServer(path, _SocketHandler)
     sock.scenario_server = server  # type: ignore[attr-defined]
     sock.shutdown_event = threading.Event()  # type: ignore[attr-defined]
@@ -177,3 +185,7 @@ def serve_socket(server: ScenarioServer, path: str) -> None:
     finally:
         sock.shutdown()
         sock.server_close()
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass

@@ -215,8 +215,12 @@ class Scheduler:
                 self._transition(job, "failed", reason="exception")
                 return
             with job.lock:
-                cancelled = job.cancel_requested and not job.committed
-            if cancelled and job.subscribers == 0:
+                cancelled = (
+                    job.cancel_requested
+                    and not job.committed
+                    and job.subscribers == 0
+                )
+            if cancelled:
                 self._transition(job, "cancelled", where="post-run")
                 obs.counter("serve.cancelled", where="post-run").inc()
                 return

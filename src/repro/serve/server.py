@@ -39,6 +39,7 @@ from typing import Any, Callable, Sequence
 from repro import obs
 from repro.agents.message_center import DeliveryPolicy
 from repro.partitioners import deterministic_partition_time
+from repro.serve.protocol import PRIORITIES
 from repro.serve.queue import (
     SHED_SHUTTING_DOWN,
     SHED_UNKNOWN_SCENARIO,
@@ -343,7 +344,16 @@ class ScenarioServer:
         same scenario, same merged parameters — coalesce onto one
         execution, and previously computed results are served from the
         result cache without executing anything.
+
+        An unknown ``priority`` is a usage error (not load) and raises
+        :class:`ValueError` — mirroring the JSONL protocol layer's
+        request validation.
         """
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; "
+                f"expected one of {list(PRIORITIES)}"
+            )
         self._count("submitted")
         obs.counter("serve.submitted", priority=priority).inc()
         try:
@@ -381,15 +391,22 @@ class ScenarioServer:
 
         # One locked region covers the twin lookup, the queue offer and
         # the inflight insert, so two racing submits of the same key can
-        # never both admit an execution.
+        # never both admit an execution.  The subscriber count is guarded
+        # by the job's own lock (like _cancel's decrement), and committed
+        # is re-checked under it so we never attach to a job a racing
+        # cancel/commit is terminalizing.
         with self._lock:
             twin = self._inflight.get(key)
-            if twin is not None and not twin.terminal:
-                twin.subscribers += 1
+            if twin is not None:
+                with twin.lock:
+                    if twin.committed:
+                        twin = None
+                    else:
+                        twin.subscribers += 1
+            if twin is not None:
                 self._stats["dedup_hits"] = self._stats.get("dedup_hits", 0) + 1
                 reason = None
             else:
-                twin = None
                 reason = self.queue.offer(job)
                 if reason is None:
                     self._inflight[key] = job
@@ -492,7 +509,11 @@ class ScenarioServer:
         if job.wait_s is not None:
             obs.histogram("serve.job_wait_seconds").observe(job.wait_s)
         with self._idle:
-            self._inflight.pop(job.key, None)
+            # Identity-checked: a racing submit may have re-admitted this
+            # key after we went terminal but before this pop ran — popping
+            # blindly would orphan the new job's dedup/drain entry.
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
             if not self._inflight:
                 self._idle.notify_all()
 

@@ -136,6 +136,48 @@ class TestPartitionObject:
             p = ISPPartitioner().partition(units, 5)
         assert p.partition_time == 1e-3 * len(units)
 
+    def test_partition_time_override_is_thread_local(self, units):
+        """Concurrent scopes must not clobber or leak into each other —
+        the serve workers wrap every job in this context, so a shared
+        module global would let one job's exit restore ``None`` under a
+        still-running neighbour (and leak the override afterwards)."""
+        import threading
+
+        from repro.partitioners.base import (
+            DEFAULT_SECONDS_PER_UNIT,
+            deterministic_partition_time,
+        )
+
+        entered = threading.Event()
+        other_done = threading.Event()
+        seen: dict[str, float] = {}
+
+        def _inner():
+            with deterministic_partition_time(seconds_per_unit=1e-5):
+                seen["inner"] = ISPPartitioner().partition(units, 5).partition_time
+            other_done.set()
+
+        def _outer():
+            with deterministic_partition_time(seconds_per_unit=1e-3):
+                entered.set()
+                assert other_done.wait(timeout=10.0)
+                # the inner thread set *and restored* its own override;
+                # ours must be untouched
+                seen["outer"] = ISPPartitioner().partition(units, 5).partition_time
+
+        t_outer = threading.Thread(target=_outer)
+        t_outer.start()
+        assert entered.wait(timeout=10.0)
+        t_inner = threading.Thread(target=_inner)
+        t_inner.start()
+        t_inner.join(timeout=10.0)
+        t_outer.join(timeout=10.0)
+        assert seen["inner"] == 1e-5 * len(units)
+        assert seen["outer"] == 1e-3 * len(units)
+        # nothing leaked into this (main) thread
+        p = ISPPartitioner().partition(units, 5)
+        assert p.partition_time == DEFAULT_SECONDS_PER_UNIT * len(units)
+
 
 class TestAllPartitioners:
     @pytest.mark.parametrize("cls", ALL_PARTITIONERS)

@@ -498,3 +498,112 @@ class TestJsonlSocket:
             client.close()
             t.join(timeout=10)
             assert not t.is_alive()
+
+    def test_socket_path_reused_across_invocations(self, tmp_path):
+        """A stale socket file (prior run or crash) must not block a new
+        listener — AF_UNIX ignores SO_REUSEADDR, so the file has to be
+        unlinked before bind and removed again on shutdown."""
+        import os
+
+        path = str(tmp_path / "serve.sock")
+        # a crash that never cleaned up leaves a stale file behind
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(path)
+        stale.close()
+        assert os.path.exists(path)
+
+        def _round_trip():
+            with make_server(workers=1) as server:
+                t = threading.Thread(
+                    target=serve_socket, args=(server, path), daemon=True
+                )
+                t.start()
+                deadline = time.time() + 5
+                client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                while True:
+                    try:
+                        client.connect(path)
+                        break
+                    except (FileNotFoundError, ConnectionRefusedError):
+                        if time.time() > deadline:
+                            raise
+                        time.sleep(0.01)
+                fh = client.makefile("rw", encoding="utf-8")
+                fh.write('{"op": "shutdown"}\n')
+                fh.flush()
+                assert json.loads(fh.readline())["op"] == "shutdown-ack"
+                client.close()
+                t.join(timeout=10)
+                assert not t.is_alive()
+
+        _round_trip()  # binds over the stale file
+        assert not os.path.exists(path)  # cleaned up on exit
+        _round_trip()  # and a second invocation binds cleanly again
+
+
+class TestReviewRegressions:
+    def test_invalid_priority_raises_value_error(self):
+        """The Python API validates priority like the protocol layer does
+        — a typo'd class must not surface as a KeyError from deep inside
+        the queue (nor count as a submission)."""
+        with make_server(workers=1, start=False) as server:
+            with pytest.raises(ValueError, match="unknown priority"):
+                server.submit("srv-quick", priority="urgent")
+            with pytest.raises(ValueError, match="unknown priority"):
+                ServerHandle(server=server).submit("srv-quick", priority="")
+            assert server.stats()["counters"] == {}
+
+    def test_committed_twin_is_not_attached(self):
+        """A job that committed its terminal transition but whose
+        ``_on_terminal`` has not popped ``_inflight`` yet must look
+        *absent* to a racing submit — attaching would hand the new
+        client a handle on a dead job."""
+        server = make_server(workers=1, start=False, use_cache=False)
+        try:
+            first = server.submit("srv-quick")
+            old = first._job
+            # simulate the commit/pop window: terminal + committed, but
+            # _on_terminal hasn't run yet so _inflight still holds it
+            with old.lock:
+                old.committed = True
+                old.status = "cancelled"
+            second = server.submit("srv-quick")
+            assert second._job is not old
+            assert server._inflight[old.key] is second._job
+            # the old job's deferred _on_terminal must not evict the
+            # newly admitted twin (identity-checked pop)
+            server._on_terminal(old)
+            assert server._inflight[old.key] is second._job
+            # ... so a third submit still coalesces onto the live job
+            third = server.submit("srv-quick")
+            assert third._job is second._job
+            assert server.stats()["counters"]["dedup_hits"] == 1
+        finally:
+            server.shutdown(wait=False)
+
+    def test_dedup_attach_survives_concurrent_cancels(self):
+        """attach (submit) and detach (cancel) mutate one subscriber
+        count from different threads; both now serialize on job.lock, so
+        N attaches + N-1 cancels must leave exactly one live subscriber
+        and never cancel the job under a freshly coalesced client."""
+        with make_server(workers=1, start=False) as server:
+            first = server.submit("srv-gated")
+            job = first._job
+            handles = [server.submit("srv-gated") for _ in range(8)]
+            assert all(h._job is job for h in handles)
+            threads = [
+                threading.Thread(target=h.cancel) for h in handles
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            # every shared handle detached; the original client's
+            # subscription keeps the job alive and uncancelled
+            assert job.subscribers == 1
+            assert not job.cancel_requested
+            assert not job.terminal
+            server.start()
+            _GATE.set()
+            assert first.wait(timeout=10.0)
+            assert first.result()["released"] is True
