@@ -7,7 +7,12 @@ Two jobs:
    inside a collection window.  The disabled path must stay within noise;
    the enabled path is reported, not asserted (collection is allowed to
    cost something).
-2. Write a ``BENCH_obs.json`` perf snapshot — per-phase simulated
+2. Measure the serving runtime's live-telemetry overhead: the shed-path
+   submit cost (cheap, deterministic, no execution) with live obs
+   enabled vs the zero-cost disabled default.  The machine-independent
+   gate leaf ``live_telemetry.overhead_ok`` asserts the ratio stays
+   within a generous bound; the raw timings live under ``wall_clock``.
+3. Write a ``BENCH_obs.json`` perf snapshot — per-phase simulated
    seconds with tail quantiles, timeline summary, anomaly alerts,
    partitioner switching, message counters and sweep task-seconds
    quantiles — the machine-readable baseline the ``python -m repro
@@ -33,6 +38,52 @@ SNAPSHOT_PATH = REPO_ROOT / "BENCH_obs.json"
 #: fast, trace-free scenarios the sweep section executes for the
 #: ``sweep.task_seconds`` histogram (a few observations for quantiles)
 SWEEP_SCENARIOS = ("fig1", "fig2", "table1", "table2")
+
+
+#: shed-path submits per timing repeat for the live-telemetry overhead
+#: measurement (unknown scenario: no queueing, no execution, so the
+#: number isolates the submit path's own bookkeeping)
+_SHED_SUBMITS = 400
+
+#: enabled/disabled submit-cost ratio the gate tolerates — generous on
+#: purpose: this guards against accidental heavy work on the hot path
+#: (an exporter flush, an unbounded scan), not against counter costs
+_LIVE_OVERHEAD_RATIO_MAX = 5.0
+
+
+def _median_shed_submit_s(server, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(_SHED_SUBMITS):
+            server.submit("no-such-scenario")
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+def _live_telemetry_overhead() -> dict:
+    from repro.config import LiveObsOptions
+    from repro.serve.server import ScenarioServer
+
+    base = ScenarioServer(workers=1, start=False, scenario_modules=())
+    live = ScenarioServer(
+        workers=1, start=False, scenario_modules=(),
+        live_obs=LiveObsOptions(enabled=True),
+    )
+    try:
+        _median_shed_submit_s(base, repeats=1)  # warm-up
+        disabled_s = _median_shed_submit_s(base)
+        enabled_s = _median_shed_submit_s(live)
+    finally:
+        base.shutdown()
+        live.shutdown()
+    ratio = enabled_s / disabled_s if disabled_s > 0 else 1.0
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "ratio": ratio,
+        "ok": ratio < _LIVE_OVERHEAD_RATIO_MAX,
+    }
 
 
 def _timed_adaptive_run():
@@ -78,6 +129,8 @@ def test_obs_overhead_and_snapshot(tmp_path):
         "sweep.task_seconds"
     ).summary()
 
+    live = _live_telemetry_overhead()
+
     phase_hists = _histograms_by_phase(doc, "execsim.phase_seconds")
     snapshot = {
         "bench": "obs_snapshot",
@@ -90,6 +143,14 @@ def test_obs_overhead_and_snapshot(tmp_path):
             ),
             "full_report_s": report_wall_s,
             "sweep_task_seconds": task_seconds,
+            "live_submit_shed_disabled_s": live["disabled_s"],
+            "live_submit_shed_enabled_s": live["enabled_s"],
+            "live_overhead_ratio": live["ratio"],
+        },
+        "live_telemetry": {
+            # machine-independent gate leaf: 1.0 while the enabled
+            # submit path stays within the tolerated ratio of disabled
+            "overhead_ok": 1.0 if live["ok"] else 0.0,
         },
         "phases": doc["phases"],
         "phase_histograms": phase_hists,
@@ -134,3 +195,9 @@ def test_obs_overhead_and_snapshot(tmp_path):
     # bound: the <5% disabled-overhead criterion is checked against the
     # Table 4 bench by the driver; this guards the enabled path).
     assert enabled_s < disabled_s * 2.0
+    # And the serving runtime's live plane must keep the submit path
+    # cheap — the gate leaf the benchdiff loop compares.
+    assert live["ok"], (
+        f"live telemetry submit overhead ratio {live['ratio']:.2f} "
+        f">= {_LIVE_OVERHEAD_RATIO_MAX}"
+    )

@@ -29,6 +29,8 @@ in ``tests/golden/api_surface.json``; its names are re-exported here:
 """
 
 from repro.api import (
+    HealthStatus,
+    LiveObsOptions,
     MetaPartitioner,
     Pragma,
     PragmaRuntime,
@@ -55,6 +57,8 @@ __all__ = [
     "ServerHandle",
     "RuntimeConfig",
     "SimulatorOptions",
+    "LiveObsOptions",
+    "HealthStatus",
     "amr",
     "sfc",
     "apps",

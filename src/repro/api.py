@@ -11,8 +11,11 @@ under one flat namespace with compatibility guarantees:
 - **serving** — :class:`ServerHandle` / :class:`ScenarioServer` (the
   long-running scenario-serving runtime, ``python -m repro serve``),
 - **configuration** — :class:`RuntimeConfig` (one composed entry point
-  over the detector, delivery, checkpoint and simulator knobs) and
-  :class:`SimulatorOptions`.
+  over the detector, delivery, checkpoint and simulator knobs),
+  :class:`SimulatorOptions` and :class:`LiveObsOptions` (the serving
+  runtime's live telemetry plane),
+- **observability** — :class:`HealthStatus` (the ``health`` verb's
+  liveness/readiness document).
 
 The exact surface is snapshotted in ``tests/golden/api_surface.json``;
 ``tests/test_api_surface.py`` fails on any drift, so additions and
@@ -23,8 +26,9 @@ no stability promise; prefer this facade::
     from repro.api import Pragma, run_sweep, ServerHandle
 """
 
-from repro.config import RuntimeConfig, SimulatorOptions
+from repro.config import LiveObsOptions, RuntimeConfig, SimulatorOptions
 from repro.core import MetaPartitioner, PragmaRuntime
+from repro.obs.live import HealthStatus
 from repro.serve import ScenarioServer, ServerHandle
 from repro.sweep import Scenario, SweepRunner, run_sweep
 
@@ -42,4 +46,6 @@ __all__ = [
     "ServerHandle",
     "RuntimeConfig",
     "SimulatorOptions",
+    "LiveObsOptions",
+    "HealthStatus",
 ]

@@ -50,6 +50,16 @@ stdin, a file, or a local socket::
     echo '{"op": "submit", "scenario": "table2"}' | python -m repro serve
     python -m repro serve --requests jobs.jsonl --json summary.json
     python -m repro serve --socket /tmp/repro.sock --workers 4
+    python -m repro serve --socket /tmp/repro.sock \\
+        --snapshot telemetry.jsonl --flight-dump flight.jsonl
+
+``top`` — a refreshing terminal dashboard over a running server's
+socket (lane depths, throughput, dedup/cache reuse, latency quantiles,
+SLO burn rates, the flight-recorder tail), driven by the server's
+``stats-stream`` verb::
+
+    python -m repro top --socket /tmp/repro.sock
+    python -m repro top --socket /tmp/repro.sock --once   # one frame
 
 ``benchdiff`` — the bench regression gate: compare a current
 ``BENCH_*.json`` against a committed baseline and exit non-zero on
@@ -88,8 +98,8 @@ from repro.experiments import EXPERIMENTS
 
 #: the subcommand verbs; anything else in argv[0] is a legacy experiment
 #: spelling and is rewritten to ``run <argv...>``
-VERBS = ("run", "sweep", "report", "chaos", "trace", "serve", "benchdiff",
-         "kernels-bench", "execsim-bench")
+VERBS = ("run", "sweep", "report", "chaos", "trace", "serve", "top",
+         "benchdiff", "kernels-bench", "execsim-bench")
 
 
 def _emit(document, json_arg) -> None:
@@ -370,9 +380,16 @@ def serve_main(args: argparse.Namespace) -> int:
     non-zero when any submitted job failed or timed out (shed requests
     are an explicit, successful refusal and do not fail the run).
     """
+    from repro.config import LiveObsOptions
     from repro.serve import ScenarioServer
     from repro.serve.jsonl import run_requests, serve_socket
 
+    live_obs = LiveObsOptions(
+        enabled=not args.no_live_obs,
+        snapshot_path=args.snapshot,
+        snapshot_interval_s=args.snapshot_interval,
+        flight_dump_path=args.flight_dump,
+    )
     server = ScenarioServer(
         workers=args.workers,
         queue_capacity=args.queue_capacity,
@@ -380,6 +397,7 @@ def serve_main(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        live_obs=live_obs,
     )
     try:
         if args.socket is not None:
@@ -403,6 +421,64 @@ def serve_main(args: argparse.Namespace) -> int:
     by_status = summary.get("by_status", {})
     bad = by_status.get("failed", 0) + by_status.get("timeout", 0)
     return 1 if bad else 0
+
+
+def top_main(args: argparse.Namespace) -> int:
+    """The ``top`` verb: live dashboard over a running server's socket.
+
+    Connects to the UNIX-domain socket of a ``serve --socket`` process,
+    drives its ``stats-stream`` verb and renders each tick as one
+    :func:`~repro.obs.live.render_dashboard` frame.  ``--once`` prints a
+    single frame and exits (scripting/tests); otherwise frames refresh
+    every ``--interval`` seconds until ``--count`` frames (or Ctrl-C).
+    """
+    import json
+    import socket
+
+    from repro.obs.live import render_dashboard
+    from repro.serve.protocol import encode
+
+    frames = 1 if args.once else args.count
+    previous = None
+    rendered = 0
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+            conn.connect(args.socket)
+            fh = conn.makefile("rwb")
+            while frames is None or rendered < frames:
+                # one stats-stream request per chunk; the server paces the
+                # ticks, the client renders each line as it arrives
+                chunk = 30 if frames is None else frames - rendered
+                fh.write((encode({
+                    "op": "stats-stream",
+                    "count": chunk,
+                    "interval_s": args.interval if chunk > 1 else 0,
+                    "flight_tail": args.flight_tail,
+                }) + "\n").encode())
+                fh.flush()
+                for _ in range(chunk):
+                    raw = fh.readline()
+                    if not raw:
+                        print("server closed the connection", file=sys.stderr)
+                        return 1
+                    tick = json.loads(raw)
+                    if tick.get("op") == "error":
+                        print(f"server error: {tick.get('error')}",
+                              file=sys.stderr)
+                        return 1
+                    if not args.once and sys.stdout.isatty():
+                        print("\x1b[2J\x1b[H", end="")
+                    print(render_dashboard(tick, previous), flush=True)
+                    previous = tick
+                    rendered += 1
+                if frames is None:
+                    time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except OSError as exc:
+        print(f"cannot reach server at {args.socket}: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -592,7 +668,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="skip result-cache reads and writes (always execute)",
     )
+    p_serve.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="append one JSONL metrics snapshot to PATH every "
+        "--snapshot-interval seconds",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval", type=float, default=5.0, metavar="S",
+        help="seconds between periodic snapshots (default 5)",
+    )
+    p_serve.add_argument(
+        "--flight-dump", default=None, metavar="PATH",
+        help="dump the flight recorder (last serve events) to PATH as "
+        "JSONL on shutdown",
+    )
+    p_serve.add_argument(
+        "--no-live-obs", action="store_true",
+        help="disable the live telemetry plane (flight recorder, SLO "
+        "tracker, snapshot exporter); stats/metrics/health verbs still "
+        "answer",
+    )
     p_serve.set_defaults(func=serve_main)
+
+    p_top = sub.add_parser(
+        "top",
+        parents=common,
+        help="live dashboard over a running server's socket",
+        description="Connect to a 'serve --socket' process and render a "
+        "refreshing terminal dashboard from its stats-stream verb: lane "
+        "depths, throughput, dedup/cache reuse, latency quantiles, SLO "
+        "burn rates and the flight-recorder tail.",
+    )
+    p_top.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="UNIX-domain socket of the running server (required)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between dashboard refreshes (default 2)",
+    )
+    p_top.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p_top.add_argument(
+        "--flight-tail", type=int, default=8, metavar="N",
+        help="flight-recorder events to show per frame (default 8)",
+    )
+    p_top.set_defaults(func=top_main)
 
     p_diff = sub.add_parser(
         "benchdiff",
@@ -699,6 +826,17 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
         if args.requests is not None and args.socket is not None:
             parser.error("--requests and --socket are mutually exclusive")
+        if args.snapshot_interval <= 0:
+            parser.error(
+                f"--snapshot-interval must be > 0, got {args.snapshot_interval}"
+            )
+    if args.verb == "top":
+        if args.interval <= 0:
+            parser.error(f"--interval must be > 0, got {args.interval}")
+        if args.count is not None and args.count < 1:
+            parser.error(f"--count must be >= 1, got {args.count}")
+        if args.flight_tail < 0:
+            parser.error(f"--flight-tail must be >= 0, got {args.flight_tail}")
     if args.verb == "trace":
         if args.steps < 1:
             parser.error(f"--steps must be >= 1, got {args.steps}")

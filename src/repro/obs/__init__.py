@@ -39,6 +39,16 @@ from repro.obs.benchdiff import (
 )
 from repro.obs.chrome import chrome_trace_events, collect_trace
 from repro.obs.export import export_json, export_jsonl, observability_snapshot
+from repro.obs.live import (
+    NULL_FLIGHT,
+    FlightRecorder,
+    HealthStatus,
+    NullFlightRecorder,
+    SloTracker,
+    SnapshotExporter,
+    render_dashboard,
+    render_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -74,6 +84,14 @@ __all__ = [
     "diff_files",
     "chrome_trace_events",
     "collect_trace",
+    "render_prometheus",
+    "render_dashboard",
+    "SnapshotExporter",
+    "SloTracker",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "HealthStatus",
     "get_registry",
     "get_tracer",
     "get_timeline",
@@ -209,9 +227,15 @@ def gauge(name: str, **labels: object) -> Gauge:
     return _registry.gauge(name, **labels)
 
 
-def histogram(name: str, **labels: object) -> Histogram:
-    """Histogram from the installed registry (no-op when disabled)."""
-    return _registry.histogram(name, **labels)
+def histogram(
+    name: str, window: int | None = None, **labels: object
+) -> Histogram:
+    """Histogram from the installed registry (no-op when disabled).
+
+    ``window`` selects the sliding-window mode when the instrument is
+    first created (see :class:`~repro.obs.metrics.Histogram`).
+    """
+    return _registry.histogram(name, window, **labels)
 
 
 def span(name: str, **attrs: object):

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import threading
 from bisect import bisect_left
+from collections import deque
 
 __all__ = [
     "Counter",
@@ -60,20 +61,27 @@ def _label_key(labels: dict[str, object]) -> _LabelKey:
 
 
 class Counter:
-    """Monotonically increasing count (events, accumulated seconds)."""
+    """Monotonically increasing count (events, accumulated seconds).
 
-    __slots__ = ("name", "labels", "_value")
+    Updates are lock-guarded: counters are shared between serving worker
+    threads (the server's ``serve.*`` stats), where a lost
+    read-modify-write would silently drop an event.
+    """
+
+    __slots__ = ("name", "labels", "_value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -84,12 +92,13 @@ class Counter:
 class Gauge:
     """Point-in-time value that can move both ways (mailbox depth)."""
 
-    __slots__ = ("name", "labels", "_value")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
     def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Overwrite the gauge."""
@@ -97,12 +106,14 @@ class Gauge:
 
     def set_max(self, value: float) -> None:
         """Raise the gauge to ``value`` if larger (high-water marks)."""
-        if value > self._value:
-            self._value = float(value)
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Shift the gauge by ``amount`` (may be negative)."""
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -119,17 +130,28 @@ class Histogram:
     ``summary()`` carries p50/p95/p99 alongside the moments.  Bucketed
     quantiles are upper-bound estimates — exact to within one bucket
     (a factor-of-two band), clamped into ``[min, max]``.
+
+    With ``window=N`` the histogram additionally keeps a ring of the
+    last ``N`` observations, and ``quantile``/``summary`` answer from
+    that ring (exact quantiles over *recent* traffic, what a live
+    dashboard wants) instead of the process-lifetime buckets.  The
+    cumulative ``count``/``total``/``buckets`` are still maintained —
+    they stay monotonic for the Prometheus exposition — and the default
+    ``window=None`` cumulative behaviour is unchanged.
     """
 
     __slots__ = ("name", "labels", "count", "total", "min", "max",
-                 "bounds", "buckets")
+                 "bounds", "buckets", "window", "_recent", "_lock")
 
     def __init__(
         self,
         name: str,
         labels: _LabelKey = (),
         bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+        window: int | None = None,
     ) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         self.name = name
         self.labels = labels
         self.count = 0
@@ -139,32 +161,54 @@ class Histogram:
         self.bounds = bounds
         # one count per bound plus one overflow bucket
         self.buckets = [0] * (len(bounds) + 1)
+        self.window = window
+        self._recent: deque[float] | None = (
+            deque(maxlen=window) if window is not None else None
+        )
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         v = float(value)
-        self.count += 1
-        self.total += v
-        if v < self.min:
-            self.min = v
-        if v > self.max:
-            self.max = v
-        self.buckets[bisect_left(self.bounds, v)] += 1
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+            self.buckets[bisect_left(self.bounds, v)] += 1
+            if self._recent is not None:
+                self._recent.append(v)
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples seen so far (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Bucketed quantile estimate (0.0 when empty).
+    def recent(self) -> list[float]:
+        """The sliding window's samples, oldest first (empty when
+        cumulative)."""
+        return list(self._recent) if self._recent is not None else []
 
-        Returns the upper bound of the bucket holding the ``q``-th sample,
-        clamped into ``[min, max]`` so the estimate never leaves the
-        observed range.
+    def _recent_quantile(self, samples: list[float], q: float) -> float:
+        ordered = sorted(samples)
+        # nearest-rank: the smallest sample covering the q-fraction
+        rank = max(math.ceil(q * len(ordered)), 1) - 1
+        return ordered[rank]
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate (0.0 when empty).
+
+        Cumulative mode returns the upper bound of the bucket holding
+        the ``q``-th sample, clamped into ``[min, max]``; window mode
+        returns the exact nearest-rank quantile of the recent samples.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._recent is not None:
+            samples = list(self._recent)
+            return self._recent_quantile(samples, q) if samples else 0.0
         if not self.count:
             return 0.0
         target = q * self.count
@@ -179,7 +223,31 @@ class Histogram:
         return self.max
 
     def summary(self) -> dict[str, float]:
-        """count/sum/min/max/mean/p50/p95/p99 as a plain dict (empty-safe)."""
+        """count/sum/min/max/mean/p50/p95/p99 as a plain dict (empty-safe).
+
+        In window mode the statistics describe the recent ring (plus
+        ``lifetime_count``/``lifetime_sum`` for the cumulative totals);
+        cumulative mode is unchanged.
+        """
+        if self._recent is not None:
+            samples = list(self._recent)
+            if not samples:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                        "lifetime_count": self.count,
+                        "lifetime_sum": self.total}
+            return {
+                "count": len(samples),
+                "sum": math.fsum(samples),
+                "min": min(samples),
+                "max": max(samples),
+                "mean": math.fsum(samples) / len(samples),
+                "p50": self._recent_quantile(samples, 0.50),
+                "p95": self._recent_quantile(samples, 0.95),
+                "p99": self._recent_quantile(samples, 0.99),
+                "lifetime_count": self.count,
+                "lifetime_sum": self.total,
+            }
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
                     "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
@@ -230,9 +298,23 @@ class MetricsRegistry:
         """The gauge registered under ``name`` + ``labels``."""
         return self._get(self._gauges, Gauge, name, labels)
 
-    def histogram(self, name: str, **labels: object) -> Histogram:
-        """The histogram registered under ``name`` + ``labels``."""
-        return self._get(self._histograms, Histogram, name, labels)
+    def histogram(
+        self, name: str, window: int | None = None, **labels: object
+    ) -> Histogram:
+        """The histogram registered under ``name`` + ``labels``.
+
+        ``window`` (keyword-only in spirit — it cannot be a label name)
+        selects the sliding-window mode *at creation*; repeated lookups
+        return the existing instrument regardless of the value passed.
+        """
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._histograms.setdefault(
+                    key, Histogram(name, key[1], window=window)
+                )
+        return inst
 
     # -- introspection ---------------------------------------------------------
 
@@ -240,6 +322,14 @@ class MetricsRegistry:
         """Read a counter without creating it (0.0 when absent)."""
         inst = self._counters.get((name, _label_key(labels)))
         return inst.value if inst is not None else 0.0
+
+    def counter_items(self, name: str) -> list[tuple[dict[str, str], float]]:
+        """Every ``(labels, value)`` registered under ``name``, sorted."""
+        return [
+            (dict(labels), c.value)
+            for (n, labels), c in sorted(self._counters.items())
+            if n == name
+        ]
 
     def sum_counters(self, name: str) -> float:
         """Total over every label set registered under ``name``."""
@@ -282,6 +372,7 @@ class _NullInstrument:
     total = 0.0
     min = math.inf
     max = -math.inf
+    window = None
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -305,6 +396,9 @@ class _NullInstrument:
 
     def quantile(self, q: float) -> float:
         return 0.0
+
+    def recent(self) -> list[float]:
+        return []
 
     def summary(self) -> dict[str, float]:
         return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
@@ -335,13 +429,19 @@ class NullRegistry(MetricsRegistry):
         """The shared no-op instrument."""
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name: str, **labels: object) -> Histogram:
+    def histogram(
+        self, name: str, window: int | None = None, **labels: object
+    ) -> Histogram:
         """The shared no-op instrument."""
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def counter_value(self, name: str, **labels: object) -> float:
         """Always 0.0 — nothing is recorded."""
         return 0.0
+
+    def counter_items(self, name: str) -> list[tuple[dict[str, str], float]]:
+        """Always empty — nothing is recorded."""
+        return []
 
     def sum_counters(self, name: str) -> float:
         """Always 0.0 — nothing is recorded."""

@@ -21,8 +21,10 @@ from __future__ import annotations
 import os
 import socketserver
 import threading
-from typing import Any, Iterable, TextIO
+import time
+from typing import Any, Iterable, Iterator, TextIO
 
+from repro.obs.live import CONTENT_TYPE
 from repro.serve.protocol import ProtocolError, encode, parse_request
 from repro.serve.server import ScenarioServer
 
@@ -83,6 +85,14 @@ class Session:
             return {"op": "result", "id": rid, **handle.record()}
         if op == "stats":
             return {"op": "stats", "stats": self.server.stats()}
+        if op == "metrics":
+            return {
+                "op": "metrics",
+                "content_type": CONTENT_TYPE,
+                "text": self.server.scrape_metrics(),
+            }
+        if op == "health":
+            return {"op": "health", **self.server.health().to_dict()}
         if op == "drain":
             idle = self.server.drain(req.get("timeout_s"))
             return {"op": "drained", "idle": idle}
@@ -90,6 +100,28 @@ class Session:
             self.shutdown_requested = True
             return {"op": "shutdown-ack"}
         raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    def dispatch_iter(self, req: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        """Execute one parsed request, yielding one or more responses.
+
+        Every op yields exactly one document except ``stats-stream``,
+        which yields ``count`` ``stats-tick`` documents ``interval_s``
+        seconds apart — the transports write and flush each as it
+        arrives, so a ``python -m repro top`` client renders live.
+        """
+        if req["op"] != "stats-stream":
+            yield self.dispatch(req)
+            return
+        count = req.get("count", 1)
+        interval_s = req.get("interval_s", 0)
+        flight_tail = req.get("flight_tail", 20)
+        for seq in range(count):
+            if seq:
+                time.sleep(interval_s)
+            tick = self.server.live_snapshot(flight_tail=flight_tail)
+            tick["seq"] = seq
+            tick["of"] = count
+            yield tick
 
 
 def run_requests(
@@ -116,7 +148,8 @@ def run_requests(
         except ProtocolError as exc:
             print(encode({"op": "error", "error": str(exc)}), file=out)
             continue
-        print(encode(session.dispatch(req)), file=out)
+        for resp in session.dispatch_iter(req):
+            print(encode(resp), file=out, flush=True)
         if session.shutdown_requested:
             break
     server.drain(drain_timeout)
@@ -147,11 +180,17 @@ class _SocketHandler(socketserver.StreamRequestHandler):
                 continue
             try:
                 req = parse_request(line)
-                resp = session.dispatch(req)
             except ProtocolError as exc:
-                resp = {"op": "error", "error": str(exc)}
-            self.wfile.write((encode(resp) + "\n").encode())
-            self.wfile.flush()
+                self.wfile.write(
+                    (encode({"op": "error", "error": str(exc)}) + "\n").encode()
+                )
+                self.wfile.flush()
+                continue
+            # write-and-flush per document, so stats-stream ticks reach
+            # the client as they are produced, not at stream end
+            for resp in session.dispatch_iter(req):
+                self.wfile.write((encode(resp) + "\n").encode())
+                self.wfile.flush()
             if session.shutdown_requested:
                 self.server.shutdown_event.set()  # type: ignore[attr-defined]
                 return

@@ -8,6 +8,9 @@ streams and the local socket).  A request names an operation::
     {"op": "cancel", "id": "r1"}
     {"op": "result", "id": "r1", "timeout_s": 60}
     {"op": "stats"}
+    {"op": "metrics"}
+    {"op": "health"}
+    {"op": "stats-stream", "count": 5, "interval_s": 1.0}
     {"op": "drain"}
     {"op": "shutdown"}
 
@@ -17,6 +20,13 @@ identity), ``priority`` (one of :data:`PRIORITIES`), ``timeout_s`` and
 ``max_retries``.  Responses echo the client ``id`` and carry the job's
 terminal record; malformed requests produce ``{"op": "error", ...}``
 instead of killing the stream.
+
+The three observability verbs never block on work: ``metrics`` returns
+the Prometheus text exposition (as a JSON string field — the transport
+stays line-oriented), ``health`` the liveness/readiness document, and
+``stats-stream`` a bounded sequence of ``stats-tick`` lines (``count``
+ticks, ``interval_s`` apart, ``flight_tail`` recorder events each) —
+the feed ``python -m repro top`` renders.
 """
 
 from __future__ import annotations
@@ -36,7 +46,10 @@ __all__ = [
 PRIORITIES = ("high", "normal", "low")
 
 #: operations the request stream understands
-OPS = ("submit", "cancel", "result", "stats", "drain", "shutdown")
+OPS = (
+    "submit", "cancel", "result", "stats", "metrics", "health",
+    "stats-stream", "drain", "shutdown",
+)
 
 
 class ProtocolError(ValueError):
@@ -79,6 +92,20 @@ def parse_request(line: str) -> dict[str, Any]:
             raise ProtocolError("'timeout_s' must be a positive number")
     if op in ("cancel", "result") and "id" not in doc:
         raise ProtocolError(f"{op} requires the 'id' of a prior submit")
+    if op == "stats-stream":
+        count = doc.get("count", 1)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise ProtocolError("'count' must be an integer >= 1")
+        interval_s = doc.get("interval_s", 0)
+        if not isinstance(interval_s, (int, float)) or isinstance(
+            interval_s, bool
+        ) or interval_s < 0:
+            raise ProtocolError("'interval_s' must be a number >= 0")
+        flight_tail = doc.get("flight_tail", 20)
+        if not isinstance(flight_tail, int) or isinstance(
+            flight_tail, bool
+        ) or flight_tail < 0:
+            raise ProtocolError("'flight_tail' must be an integer >= 0")
     return doc
 
 

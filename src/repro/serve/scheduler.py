@@ -76,6 +76,7 @@ class Scheduler:
         warm_requirement: Callable[[str], None] | None = None,
         death_injector: Callable[[Job, int], str | None] | None = None,
         on_event: Callable[[Job, str, float, dict], None] | None = None,
+        metrics: Any = None,
         clock: Callable[[], float] = time.perf_counter,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -92,11 +93,25 @@ class Scheduler:
         self.warm_requirement = warm_requirement or (lambda req: None)
         self.death_injector = death_injector
         self.on_event = on_event
+        #: optional always-on registry (the owning server's) that every
+        #: scheduler counter is dual-written to, alongside the global
+        #: :mod:`repro.obs` helpers (null unless a window is open)
+        self.metrics = metrics
         self.clock = clock
         self.sleep = sleep
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopping = False
+
+    def _inc(self, name: str, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()
+        obs.counter(name, **labels).inc()
+
+    def _observe(self, name: str, value: float, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name, **labels).observe(value)
+        obs.histogram(name, **labels).observe(value)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -104,6 +119,11 @@ class Scheduler:
     def started(self) -> bool:
         """True once the worker pool is running."""
         return self._started
+
+    @property
+    def alive_workers(self) -> int:
+        """How many pool threads are currently alive."""
+        return sum(1 for t in self._threads if t.is_alive())
 
     def start(self) -> None:
         """Start the worker pool (idempotent)."""
@@ -137,8 +157,8 @@ class Scheduler:
             batch = self.queue.take_batch(self.max_batch)
             if not batch:
                 return
-            obs.counter("serve.batches").inc()
-            obs.histogram("serve.batch_size").observe(len(batch))
+            self._inc("serve.batches")
+            self._observe("serve.batch_size", len(batch))
             for req in sorted({r for job in batch for r in job.requires}):
                 try:
                     self.warm_requirement(req)
@@ -176,7 +196,7 @@ class Scheduler:
     def _run_job(self, job: Job, wid: int) -> None:
         if job.cancel_requested:
             if self._transition(job, "cancelled", where="pre-dispatch"):
-                obs.counter("serve.cancelled", where="pre-dispatch").inc()
+                self._inc("serve.cancelled", where="pre-dispatch")
             return
         attempt = 0
         while True:
@@ -191,7 +211,7 @@ class Scheduler:
             try:
                 result = self._attempt(job, attempt)
             except WorkerDeath as death:
-                obs.counter("serve.worker_deaths").inc()
+                self._inc("serve.worker_deaths")
                 self._event(job, "worker-death", attempt=attempt,
                             where=str(death))
                 if attempt >= job.max_retries:
@@ -202,11 +222,11 @@ class Scheduler:
                     return
                 attempt += 1
                 job.retries += 1
-                obs.counter("serve.retries").inc()
+                self._inc("serve.retries")
                 self.sleep(self.retry_policy.backoff(attempt - 1, key=job.seq))
                 continue
             except JobTimeout:
-                obs.counter("serve.timeouts").inc()
+                self._inc("serve.timeouts")
                 job.error = f"timed out after {job.timeout_s}s"
                 self._transition(job, "timeout")
                 return
@@ -222,11 +242,11 @@ class Scheduler:
                 )
             if cancelled:
                 self._transition(job, "cancelled", where="post-run")
-                obs.counter("serve.cancelled", where="post-run").inc()
+                self._inc("serve.cancelled", where="post-run")
                 return
             job.result = result
             if self._transition(job, "done"):
-                obs.counter("serve.completed").inc()
+                self._inc("serve.completed")
             return
 
     def _attempt(self, job: Job, attempt: int) -> Any:

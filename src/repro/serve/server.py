@@ -38,9 +38,13 @@ from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.agents.message_center import DeliveryPolicy
+from repro.config import LiveObsOptions
+from repro.obs.live import HealthStatus, SnapshotExporter
+from repro.obs.metrics import MetricsRegistry
 from repro.partitioners import deterministic_partition_time
 from repro.serve.protocol import PRIORITIES
 from repro.serve.queue import (
+    SHED_QUEUE_FULL,
     SHED_SHUTTING_DOWN,
     SHED_UNKNOWN_SCENARIO,
     Job,
@@ -203,6 +207,7 @@ class ScenarioServer:
         default_timeout_s: float | None = None,
         scenario_modules: Sequence[str] = DEFAULT_SCENARIO_MODULES,
         death_injector: Callable[[Job, int], str | None] | None = None,
+        live_obs: LiveObsOptions | None = None,
         start: bool = True,
     ) -> None:
         if max_retries < 0:
@@ -219,6 +224,23 @@ class ScenarioServer:
             self.cache = ResultCache(Path(cache_dir) / "serve")
         else:
             self.cache = _MemoryCache()
+        #: the server's own always-on registry — the one source of truth
+        #: behind :meth:`stats`, the ``metrics`` exposition endpoint and
+        #: the live dashboard (``serve.*`` counters are dual-written to
+        #: the process-global :mod:`repro.obs` registry too, so scoped
+        #: collection windows and run reports keep seeing them)
+        self.metrics = MetricsRegistry()
+        self.live_obs = live_obs if live_obs is not None else LiveObsOptions()
+        self._flight = self.live_obs.build_flight_recorder()
+        self._slo = (
+            self.live_obs.build_slo_tracker()
+            if self.live_obs.enabled else None
+        )
+        #: sliding window for dashboard latency quantiles (recent
+        #: traffic); ``None`` = cumulative when live obs is off
+        self._latency_window = (
+            self.live_obs.slo_long_window if self.live_obs.enabled else None
+        )
         self.queue = JobQueue(queue_capacity)
         self.scheduler = Scheduler(
             self.queue,
@@ -230,15 +252,26 @@ class ScenarioServer:
             warm_requirement=self._warm,
             death_injector=death_injector,
             on_event=self._notify,
+            metrics=self.metrics,
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._inflight: dict[str, Job] = {}
-        self._stats: dict[str, int] = {}
         self._listeners: list[Callable[[Job, str, float, dict], None]] = []
         self._seq = 0
         self._closed = False
         self._epoch = time.perf_counter()
+        self._mono_epoch = time.monotonic()
+        self._last_commit_mono: float | None = None
+        self._exporter: SnapshotExporter | None = None
+        if self.live_obs.enabled and self.live_obs.snapshot_path is not None:
+            self._exporter = SnapshotExporter(
+                self.metrics,
+                self.live_obs.snapshot_path,
+                interval_s=self.live_obs.snapshot_interval_s,
+                extra=lambda: {"stats": self.stats()},
+            )
+            self._exporter.start()
         if start:
             self.start()
 
@@ -267,10 +300,19 @@ class ScenarioServer:
         return True
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop admission, drain the queue and join the workers."""
+        """Stop admission, drain the queue and join the workers.
+
+        The live plane winds down with the server: the snapshot exporter
+        flushes a final record and the flight recorder dumps to its
+        configured path (when one is set).
+        """
         with self._lock:
             self._closed = True
         self.scheduler.stop(wait=wait)
+        if self._exporter is not None:
+            self._exporter.stop()
+            self._exporter = None
+        self.dump_flight()
 
     def __enter__(self) -> "ScenarioServer":
         return self
@@ -280,11 +322,28 @@ class ScenarioServer:
 
     # -- submission --------------------------------------------------------------
 
-    def _count(self, stat: str, amount: int = 1) -> None:
-        with self._lock:
-            self._stats[stat] = self._stats.get(stat, 0) + amount
+    def _inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Bump ``serve.<name>`` on the server registry *and* the global one.
+
+        The server's own registry backs :meth:`stats` and the live
+        exposition endpoints; the global :mod:`repro.obs` registry (null
+        unless a collection window is open) keeps run reports seeing the
+        same counters.
+        """
+        self.metrics.counter(name, **labels).inc(amount)
+        obs.counter(name, **labels).inc(amount)
 
     def _notify(self, job: Job, kind: str, t: float, attrs: dict) -> None:
+        # every job event funnels through here — both the server's own
+        # _emit and the scheduler's _event — so this is the one flight
+        # recorder tap point
+        if self._flight.enabled:
+            # event attrs win over the job-derived fields (e.g. the
+            # "queued" event already carries priority)
+            self._flight.record(kind, t, **{
+                "job": f"job-{job.seq}", "scenario": job.name,
+                "priority": job.priority, **attrs,
+            })
         for listener in list(self._listeners):
             try:
                 listener(job, kind, t, attrs)
@@ -320,9 +379,13 @@ class ScenarioServer:
         job.finished_t = time.perf_counter()
         job.committed = True
         job.done.set()
-        self._count("shed")
-        self._count(f"shed:{reason}")
-        obs.counter("serve.shed", reason=reason).inc()
+        self._inc("serve.shed", reason=reason)
+        if self._slo is not None:
+            # unknown-scenario refusals are client errors, not load
+            self._slo.record_admission(
+                job.priority,
+                shed=reason in (SHED_QUEUE_FULL, SHED_SHUTTING_DOWN),
+            )
         self._emit(job, "shed", reason=reason)
         return JobHandle(job, self)
 
@@ -354,8 +417,7 @@ class ScenarioServer:
                 f"unknown priority {priority!r}; "
                 f"expected one of {list(PRIORITIES)}"
             )
-        self._count("submitted")
-        obs.counter("serve.submitted", priority=priority).inc()
+        self._inc("serve.submitted", priority=priority)
         try:
             scenario = get_scenario(name)
         except KeyError:
@@ -384,8 +446,12 @@ class ScenarioServer:
                 job.committed = True
                 job.finished_t = time.perf_counter()
                 job.done.set()
-                self._count("cache_hits")
-                obs.counter("serve.cache_hits").inc()
+                self._inc("serve.cache_hits")
+                if self._slo is not None:
+                    self._slo.record_admission(priority, shed=False)
+                    self._slo.record_latency(
+                        priority, job.finished_t - job.submitted_t
+                    )
                 self._emit(job, "cache-hit")
                 return JobHandle(job, self)
 
@@ -404,20 +470,22 @@ class ScenarioServer:
                     else:
                         twin.subscribers += 1
             if twin is not None:
-                self._stats["dedup_hits"] = self._stats.get("dedup_hits", 0) + 1
                 reason = None
             else:
                 reason = self.queue.offer(job)
                 if reason is None:
                     self._inflight[key] = job
-                    self._stats["admitted"] = self._stats.get("admitted", 0) + 1
         if twin is not None:
-            obs.counter("serve.dedup_hits").inc()
+            self._inc("serve.dedup_hits")
+            if self._slo is not None:
+                self._slo.record_admission(priority, shed=False)
             self._emit(twin, "dedup-attach", subscribers=twin.subscribers)
             return JobHandle(twin, self)
         if reason is not None:
             return self._shed_job(job, reason)
-        obs.counter("serve.admitted", priority=priority).inc()
+        self._inc("serve.admitted", priority=priority)
+        if self._slo is not None:
+            self._slo.record_admission(priority, shed=False)
         self._emit(job, "queued", priority=priority)
         return JobHandle(job, self)
 
@@ -465,13 +533,12 @@ class ScenarioServer:
         if self.queue.remove(job):
             # still pending: terminalize right here
             if self._finalize(job, "cancelled", where="pending"):
-                self._count("cancelled")
-                obs.counter("serve.cancelled", where="pending").inc()
+                self._inc("serve.cancelled", where="pending")
             return True
         # already running: the cooperative flag wins or loses the commit
         # race in the scheduler's post-run check
         self._emit(job, "cancel-requested")
-        self._count("cancel_requested")
+        self._inc("serve.cancel_requested")
         return True
 
     # -- execution (called from worker threads) ----------------------------------
@@ -494,7 +561,7 @@ class ScenarioServer:
 
     def _on_terminal(self, job: Job) -> None:
         if job.status == "done" and not job.cached:
-            self._count("executions")
+            self._inc("serve.executions")
             if self.use_cache:
                 self.cache.put(job.key, {
                     "scenario": job.name,
@@ -502,12 +569,22 @@ class ScenarioServer:
                     "seed": job.seed,
                     "result": job.result,
                 })
-        if job.status in ("failed", "timeout"):
-            self._count(job.status)
-        if job.status == "done":
-            self._count("completed")
+        self._inc("serve.jobs_terminal", status=job.status)
+        self._last_commit_mono = time.monotonic()
         if job.wait_s is not None:
+            self.metrics.histogram("serve.job_wait_seconds").observe(job.wait_s)
             obs.histogram("serve.job_wait_seconds").observe(job.wait_s)
+        if job.status == "done" and job.finished_t is not None:
+            latency = job.finished_t - job.submitted_t
+            self.metrics.histogram(
+                "serve.request_latency_seconds", self._latency_window,
+                priority=job.priority,
+            ).observe(latency)
+            obs.histogram(
+                "serve.request_latency_seconds", priority=job.priority
+            ).observe(latency)
+            if self._slo is not None:
+                self._slo.record_latency(job.priority, latency)
         with self._idle:
             # Identity-checked: a racing submit may have re-admitted this
             # key after we went terminal but before this pop ran — popping
@@ -519,13 +596,45 @@ class ScenarioServer:
 
     # -- introspection -----------------------------------------------------------
 
+    def _legacy_counters(self) -> dict[str, int]:
+        """The historical ``stats()['counters']`` dict, reconstructed
+        from the ``serve.*`` registry (keys appear once nonzero, so an
+        untouched server still reports ``{}``)."""
+        m = self.metrics
+        out: dict[str, int] = {}
+
+        def put(key: str, value: float) -> None:
+            if value:
+                out[key] = int(value)
+
+        put("submitted", m.sum_counters("serve.submitted"))
+        shed_total = 0
+        for labels, value in m.counter_items("serve.shed"):
+            put(f"shed:{labels.get('reason', '?')}", value)
+            shed_total += int(value)
+        put("shed", shed_total)
+        put("dedup_hits", m.counter_value("serve.dedup_hits"))
+        put("admitted", m.sum_counters("serve.admitted"))
+        put("cache_hits", m.counter_value("serve.cache_hits"))
+        put("cancelled", m.counter_value("serve.cancelled", where="pending"))
+        put("cancel_requested", m.counter_value("serve.cancel_requested"))
+        put("executions", m.counter_value("serve.executions"))
+        put("completed", m.counter_value("serve.jobs_terminal", status="done"))
+        put("failed", m.counter_value("serve.jobs_terminal", status="failed"))
+        put("timeout", m.counter_value("serve.jobs_terminal", status="timeout"))
+        return dict(sorted(out.items()))
+
     def stats(self) -> dict[str, Any]:
-        """Snapshot of the server's counters and queue state."""
+        """Snapshot of the server's counters and queue state.
+
+        The ``counters`` dict keeps its historical shape (``submitted``,
+        ``shed``/``shed:<reason>``, ``dedup_hits``, ...), now derived
+        from the ``serve.*`` instruments on :attr:`metrics`.
+        """
         with self._lock:
-            counters = dict(sorted(self._stats.items()))
             inflight = len(self._inflight)
         return {
-            "counters": counters,
+            "counters": self._legacy_counters(),
             "queue_depth": len(self.queue),
             "queue_capacity": self.queue.capacity,
             "queue_by_priority": self.queue.depth_by_priority(),
@@ -535,6 +644,103 @@ class ScenarioServer:
             "running": self.running,
             "uptime_wall_s": time.perf_counter() - self._epoch,
         }
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since construction."""
+        return time.monotonic() - self._mono_epoch
+
+    def health(self) -> HealthStatus:
+        """Liveness + readiness with the individual gate signals.
+
+        ``live`` is unconditionally True — a served response implies the
+        process runs.  ``ready`` requires open admission, a started
+        worker pool with every worker alive, and queue headroom.
+        """
+        depth = len(self.queue)
+        capacity = self.queue.capacity
+        alive = self.scheduler.alive_workers
+        last_commit_age = (
+            time.monotonic() - self._last_commit_mono
+            if self._last_commit_mono is not None else None
+        )
+        checks: dict[str, Any] = {
+            "admission_open": not self._closed,
+            "scheduler_started": self.scheduler.started,
+            "queue_depth": depth,
+            "queue_capacity": capacity,
+            "queue_has_headroom": depth < capacity,
+            "workers": self.scheduler.workers,
+            "workers_alive": alive,
+            "last_commit_age_s": last_commit_age,
+            "uptime_seconds": self.uptime_seconds,
+        }
+        ready = (
+            not self._closed
+            and self.scheduler.started
+            and alive >= self.scheduler.workers
+            and depth < capacity
+        )
+        return HealthStatus(live=True, ready=ready, checks=checks)
+
+    def scrape_metrics(self) -> str:
+        """The ``serve.*`` registry as Prometheus text exposition.
+
+        Point-in-time gauges (queue depth, inflight, uptime) are
+        refreshed into the registry before rendering, so a scrape always
+        reflects current state, not the last event.
+        """
+        from repro.obs.live import render_prometheus
+
+        m = self.metrics
+        m.gauge("serve.uptime_seconds").set(self.uptime_seconds)
+        m.gauge("serve.queue_depth").set(len(self.queue))
+        m.gauge("serve.queue_capacity").set(self.queue.capacity)
+        with self._lock:
+            m.gauge("serve.inflight").set(len(self._inflight))
+        m.gauge("serve.workers_alive").set(self.scheduler.alive_workers)
+        for priority, depth in self.queue.depth_by_priority().items():
+            m.gauge("serve.queue_lane_depth", priority=priority).set(depth)
+        return render_prometheus(m)
+
+    def live_snapshot(self, flight_tail: int = 20) -> dict[str, Any]:
+        """One ``stats-stream`` tick: everything the dashboard renders.
+
+        Bundles :meth:`stats`, :meth:`health`, per-lane latency
+        summaries, the SLO document (when live obs is enabled) and the
+        flight recorder's last ``flight_tail`` events.
+        """
+        latency: dict[str, Any] = {}
+        for (name, labels), hist in sorted(
+            self.metrics._histograms.items()
+        ):
+            if name != "serve.request_latency_seconds":
+                continue
+            lane = dict(labels).get("priority", "?")
+            latency[lane] = hist.summary()
+        doc: dict[str, Any] = {
+            "op": "stats-tick",
+            "uptime_seconds": self.uptime_seconds,
+            "stats": self.stats(),
+            "health": self.health().to_dict(),
+            "latency": latency,
+            "slo": self._slo.summary() if self._slo is not None else None,
+            "flight_tail": self._flight.tail(flight_tail),
+        }
+        return doc
+
+    def slo_alerts(self) -> list[Any]:
+        """Currently firing SLO burn-rate alerts (empty when disabled)."""
+        return self._slo.alerts() if self._slo is not None else []
+
+    def dump_flight(self, path: str | Path | None = None) -> int:
+        """Dump the flight recorder to ``path`` (default: the configured
+        ``flight_dump_path``); returns the number of events written,
+        0 when there is nowhere to write or nothing recorded."""
+        target = path if path is not None else self.live_obs.flight_dump_path
+        if target is None or not self._flight.enabled:
+            return 0
+        return self._flight.dump(target)
 
 
 class ServerHandle:
@@ -574,6 +780,14 @@ class ServerHandle:
     def stats(self) -> dict[str, Any]:
         """Server counter/queue snapshot."""
         return self._server.stats()
+
+    def health(self) -> dict[str, Any]:
+        """Liveness/readiness document (see :meth:`ScenarioServer.health`)."""
+        return self._server.health().to_dict()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the server's ``serve.*`` metrics."""
+        return self._server.scrape_metrics()
 
     def close(self) -> None:
         """Shut the server down (graceful: drains admitted work)."""

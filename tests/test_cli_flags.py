@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.cli import SHARED_OPTION_HELP, VERBS, build_parser, main
 REQUIRED_ARGS = {
     "run": ["table2"],
     "benchdiff": ["a.json", "b.json"],
+    "top": ["--socket", "/tmp/repro.sock"],
 }
 
 
@@ -79,6 +81,11 @@ class TestServeVerbValidation:
         ["serve", "--queue-capacity", "0"],
         ["serve", "--max-batch", "0"],
         ["serve", "--requests", "a.jsonl", "--socket", "/tmp/s.sock"],
+        ["serve", "--snapshot-interval", "0"],
+        ["top"],
+        ["top", "--socket", "/tmp/s.sock", "--interval", "0"],
+        ["top", "--socket", "/tmp/s.sock", "--count", "0"],
+        ["top", "--socket", "/tmp/s.sock", "--flight-tail", "-1"],
     ])
     def test_rejected(self, argv, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -87,18 +94,31 @@ class TestServeVerbValidation:
 
 
 def test_serve_stream_mode_end_to_end(tmp_path, capsys):
+    from repro.sweep.scenario import FunctionScenario, register, unregister
+
+    # a scenario slow enough that the duplicate submit always lands
+    # while the first execution is still in flight (table2 can finish
+    # in single-digit ms, turning the dedup into a racy cache hit)
+    def _slow(ctx):
+        time.sleep(0.2)
+        return {"ok": True}
+
+    register(FunctionScenario("cli-slow", _slow), replace=True)
     requests = tmp_path / "jobs.jsonl"
     requests.write_text(
-        '{"op": "submit", "id": "a", "scenario": "table2"}\n'
-        '{"op": "submit", "id": "b", "scenario": "table2"}\n'
+        '{"op": "submit", "id": "a", "scenario": "cli-slow"}\n'
+        '{"op": "submit", "id": "b", "scenario": "cli-slow"}\n'
         '{"op": "submit", "id": "c", "scenario": "no-such"}\n'
     )
     summary_path = tmp_path / "summary.json"
-    code = main([
-        "serve", "--requests", str(requests),
-        "--cache-dir", str(tmp_path / "cache"),
-        "--json", str(summary_path),
-    ])
+    try:
+        code = main([
+            "serve", "--requests", str(requests),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(summary_path),
+        ])
+    finally:
+        unregister("cli-slow")
     assert code == 0
     docs = [json.loads(line) for line in
             capsys.readouterr().out.splitlines()]
