@@ -99,7 +99,7 @@ from repro.experiments import EXPERIMENTS
 #: the subcommand verbs; anything else in argv[0] is a legacy experiment
 #: spelling and is rewritten to ``run <argv...>``
 VERBS = ("run", "sweep", "report", "chaos", "trace", "serve", "top",
-         "benchdiff", "kernels-bench", "execsim-bench")
+         "simtest", "benchdiff", "kernels-bench", "execsim-bench")
 
 
 def _emit(document, json_arg) -> None:
@@ -481,6 +481,79 @@ def top_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def simtest_main(args: argparse.Namespace) -> int:
+    """The ``simtest`` verb: deterministic simulation of the runtime.
+
+    Sweeps seeds (``--seeds``, or a committed corpus via ``--corpus``),
+    running the serving + resilience stack under a virtual clock and a
+    seeded cooperative schedule; every run is executed twice and the
+    trace digests compared, so nondeterminism is itself a failure.  On
+    an invariant violation the workload is delta-debugged and a
+    self-contained ``simtest-repro-<seed>.json`` lands in ``--out-dir``.
+    ``--replay`` runs such a file back.  Exits 1 on any failure.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.simtest import load_repro, replay_repro, run_simtest
+    from repro.simtest.fuzzer import CORPUS_FORMAT
+
+    if args.replay is not None:
+        doc = load_repro(args.replay)
+        report = replay_repro(doc)
+        reproduced = any(
+            v.invariant == doc.get("invariant") for v in report.violations
+        )
+        out = {
+            "format": "simtest-replay-v1",
+            "repro": str(args.replay),
+            "seed": doc["seed"],
+            "invariant": doc.get("invariant"),
+            "reproduced": reproduced,
+            "violations": [v.to_dict() for v in report.violations],
+            "steps": report.steps,
+            "digest": report.digest,
+        }
+        if args.json is not None:
+            _emit(out, args.json)
+        else:
+            status = "reproduced" if reproduced else "NOT reproduced"
+            print(f"simtest replay {args.replay}: {out['invariant']} "
+                  f"{status} in {report.steps} steps")
+            for violation in report.violations:
+                print(f"  {violation.invariant}: {violation.detail}")
+        return 0 if reproduced else 1
+
+    if args.corpus is not None:
+        corpus = json.loads(Path(args.corpus).read_text(encoding="utf-8"))
+        if corpus.get("format") != CORPUS_FORMAT:
+            print(f"{args.corpus}: not a {CORPUS_FORMAT} file",
+                  file=sys.stderr)
+            return 2
+        seeds = [int(s) for s in corpus["seeds"]]
+        ops = int(corpus.get("ops", args.ops))
+    else:
+        seeds = [args.seed + i for i in range(args.seeds)]
+        ops = args.ops
+
+    summary = run_simtest(seeds, ops=ops, out_dir=args.out_dir)
+    if args.json is not None:
+        _emit(summary, args.json)
+    else:
+        print(f"simtest: {summary['seeds']} seeds, "
+              f"{summary['failures']} failures, "
+              f"{summary['total_steps']} scheduling steps")
+        for entry in summary["results"]:
+            if entry["ok"]:
+                continue
+            first = entry["violations"][0]
+            print(f"  seed {entry['seed']}: {first['invariant']} — "
+                  f"{first['detail']}")
+            if "repro" in entry:
+                print(f"    repro: {entry['repro']}")
+    return 0 if summary["failures"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The single subcommand parser behind ``python -m repro``."""
     common = [_common_parent()]
@@ -721,6 +794,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_top.set_defaults(func=top_main)
 
+    p_sim = sub.add_parser(
+        "simtest",
+        parents=common,
+        help="deterministic simulation testing of the serving runtime",
+        description="Run the serving + resilience stack under a virtual "
+        "clock and a seeded cooperative scheduler: every interleaving is "
+        "a pure function of one integer seed, invariants are checked "
+        "after every scheduling step, each seed is run twice to prove "
+        "determinism, and violations are minimized into self-contained "
+        "simtest-repro-<seed>.json files.",
+    )
+    p_sim.add_argument(
+        "--seeds", type=int, default=50, metavar="N",
+        help="number of seeds to sweep, starting at --seed (default 50)",
+    )
+    p_sim.add_argument(
+        "--ops", type=int, default=24, metavar="N",
+        help="workload ops generated per seed before the trailing "
+        "awaits (default 24)",
+    )
+    p_sim.add_argument(
+        "--corpus", default=None, metavar="PATH",
+        help="run the seeds of a committed simtest-corpus-v1 JSON file "
+        "instead of a --seeds range",
+    )
+    p_sim.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="re-run a simtest-repro-<seed>.json file's minimized "
+        "script; exits 0 when the violation reproduces",
+    )
+    p_sim.add_argument(
+        "--out-dir", default="simtest-repros", metavar="DIR",
+        help="directory for repro files on failure "
+        "(default: simtest-repros/)",
+    )
+    p_sim.set_defaults(func=simtest_main)
+
     p_diff = sub.add_parser(
         "benchdiff",
         parents=common,
@@ -851,6 +961,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--procs must be >= 1, got {args.procs}")
         if args.repeats < 1:
             parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    if args.verb == "simtest":
+        if args.seeds < 1:
+            parser.error(f"--seeds must be >= 1, got {args.seeds}")
+        if args.ops < 1:
+            parser.error(f"--ops must be >= 1, got {args.ops}")
+        if args.corpus is not None and args.replay is not None:
+            parser.error("--corpus and --replay are mutually exclusive")
     if args.verb == "benchdiff":
         if args.rel_tol < 0:
             parser.error(f"--rel-tol must be >= 0, got {args.rel_tol}")

@@ -99,14 +99,19 @@ class LiveObsOptions:
             burn_threshold=self.slo_burn_threshold,
         )
 
-    def build_flight_recorder(self):
+    def build_flight_recorder(self, *, wall_clock=None):
         """A :class:`~repro.obs.live.FlightRecorder` (the shared null
-        recorder when disabled)."""
+        recorder when disabled).
+
+        ``wall_clock`` overrides the dump-header timestamp source — the
+        serving runtime passes its own injected clock through, so a
+        simulated run's flight dump carries virtual time.
+        """
         from repro.obs.live import NULL_FLIGHT, FlightRecorder
 
         if not self.enabled:
             return NULL_FLIGHT
-        return FlightRecorder(self.flight_capacity)
+        return FlightRecorder(self.flight_capacity, wall_clock=wall_clock)
 
 
 @dataclass(frozen=True, slots=True)

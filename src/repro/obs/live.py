@@ -189,6 +189,7 @@ class SnapshotExporter:
         interval_s: float = 5.0,
         extra: Callable[[], dict[str, Any]] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] | None = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -197,6 +198,11 @@ class SnapshotExporter:
         self.interval_s = interval_s
         self.extra = extra
         self.clock = clock
+        #: the record timestamp source.  Defaults to wall time for
+        #: human-readable snapshots; injecting one callable as both
+        #: ``clock`` and ``wall_clock`` makes a single (possibly
+        #: simulated) clock govern every field the exporter writes.
+        self.wall_clock = wall_clock if wall_clock is not None else time.time
         self._epoch = clock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -212,7 +218,7 @@ class SnapshotExporter:
         uptime = self.uptime_seconds
         self.registry.gauge("serve.uptime_seconds").set(uptime)
         record: dict[str, Any] = {
-            "t": time.time(),
+            "t": self.wall_clock(),
             "uptime_seconds": uptime,
             "metrics": self.registry.snapshot(),
         }
@@ -444,10 +450,19 @@ class FlightRecorder:
 
     enabled = True
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        wall_clock: Callable[[], float] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        #: timestamp source for the dump header (event ``t`` values are
+        #: supplied by the caller); injectable so a simulated run's dump
+        #: carries virtual time throughout
+        self.wall_clock = wall_clock if wall_clock is not None else time.time
         self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
         self.recorded = 0
 
@@ -475,7 +490,7 @@ class FlightRecorder:
         events = self.tail()
         header = {
             "kind": "flight-recorder",
-            "t": time.time(),
+            "t": self.wall_clock(),
             "capacity": self.capacity,
             "recorded": self.recorded,
             "dumped": len(events),

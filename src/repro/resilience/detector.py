@@ -151,10 +151,15 @@ class FailureDetector:
         message_center=None,
         sensor_noise: float = 0.0,
         sensor_seed: int = 0,
+        clock=None,
     ) -> None:
         self.cluster = cluster
         self.config = config or DetectorConfig()
         self.message_center = message_center
+        #: optional time source for :meth:`poll_now` — the seam the
+        #: simulation harness uses to drive heartbeats off a virtual
+        #: clock; :meth:`poll`/:meth:`sweep` keep taking explicit times
+        self.clock = clock
         self.events: list[DetectionEvent] = []
         n = cluster.num_nodes
         self._misses = [0] * n
@@ -249,6 +254,20 @@ class FailureDetector:
                 )
         self.events.extend(new)
         return new
+
+    def poll_now(self) -> list[DetectionEvent]:
+        """One heartbeat sweep at the attached clock's current time.
+
+        Requires a ``clock`` to have been passed at construction — the
+        serving-runtime and simulation integrations poll this way, so
+        one injected clock paces heartbeats and timeouts alike.
+        """
+        if self.clock is None:
+            raise RuntimeError(
+                "poll_now() needs a clock= attached at construction; "
+                "use poll(t) with explicit times otherwise"
+            )
+        return self.poll(self.clock())
 
     def sweep(self, t0: float, t1: float) -> list[DetectionEvent]:
         """Poll every ``heartbeat_period`` over ``[t0, t1)``."""

@@ -22,7 +22,7 @@ import os
 import socketserver
 import threading
 import time
-from typing import Any, Iterable, Iterator, TextIO
+from typing import Any, Callable, Iterable, Iterator, TextIO
 
 from repro.obs.live import CONTENT_TYPE
 from repro.serve.protocol import ProtocolError, encode, parse_request
@@ -32,10 +32,21 @@ __all__ = ["Session", "run_requests", "serve_socket"]
 
 
 class Session:
-    """One client's request-id → job-handle map and dispatch logic."""
+    """One client's request-id → job-handle map and dispatch logic.
 
-    def __init__(self, server: ScenarioServer) -> None:
+    ``sleeper`` paces ``stats-stream`` ticks; injecting one (a virtual
+    clock's sleep, a fake) makes streaming behavior schedulable in tests
+    — the default is real :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        server: ScenarioServer,
+        *,
+        sleeper: Callable[[float], None] | None = None,
+    ) -> None:
         self.server = server
+        self.sleeper = sleeper if sleeper is not None else time.sleep
         self.handles: dict[str, Any] = {}
         self.order: list[str] = []
         self._auto = 0
@@ -117,7 +128,7 @@ class Session:
         flight_tail = req.get("flight_tail", 20)
         for seq in range(count):
             if seq:
-                time.sleep(interval_s)
+                self.sleeper(interval_s)
             tick = self.server.live_snapshot(flight_tail=flight_tail)
             tick["seq"] = seq
             tick["of"] = count
@@ -201,7 +212,12 @@ class _ThreadingUnixServer(socketserver.ThreadingMixIn, socketserver.UnixStreamS
     allow_reuse_address = True
 
 
-def serve_socket(server: ScenarioServer, path: str) -> None:
+def serve_socket(
+    server: ScenarioServer,
+    path: str,
+    *,
+    ready: threading.Event | None = None,
+) -> None:
     """Serve JSONL connections on a UNIX-domain socket at ``path``.
 
     Blocks until a client sends ``{"op": "shutdown"}``.  The scenario
@@ -209,6 +225,10 @@ def serve_socket(server: ScenarioServer, path: str) -> None:
     socket file at ``path`` (a previous run, or a crash that never
     cleaned up) is unlinked before binding — SO_REUSEADDR does nothing
     for AF_UNIX — and the file is removed again on exit.
+
+    ``ready`` (when given) is set once the socket is bound and
+    listening, so a caller running this in a thread can connect
+    immediately instead of polling the filesystem with sleeps.
     """
     try:
         os.unlink(path)
@@ -219,6 +239,8 @@ def serve_socket(server: ScenarioServer, path: str) -> None:
     sock.shutdown_event = threading.Event()  # type: ignore[attr-defined]
     listener = threading.Thread(target=sock.serve_forever, daemon=True)
     listener.start()
+    if ready is not None:
+        ready.set()
     try:
         sock.shutdown_event.wait()  # type: ignore[attr-defined]
     finally:

@@ -157,25 +157,49 @@ class Scheduler:
             batch = self.queue.take_batch(self.max_batch)
             if not batch:
                 return
-            self._inc("serve.batches")
-            self._observe("serve.batch_size", len(batch))
-            for req in sorted({r for job in batch for r in job.requires}):
-                try:
-                    self.warm_requirement(req)
-                except Exception:  # noqa: BLE001 - jobs re-warm and fail solo
-                    pass
-            for job in batch:
-                self._run_job(job, wid)
+            self._run_batch(batch, wid)
 
-    def _transition(self, job: Job, status: str, **event_attrs: Any) -> bool:
+    def step(self, wid: int = 0) -> int:
+        """Take and run one batch without blocking; returns its size.
+
+        This is the cooperative face of the worker loop: the simulation
+        harness (:mod:`repro.simtest`) drives parked worker tasks through
+        it one dispatch at a time, so the exact same batch/retry/commit
+        code runs under a controlled schedule.  Returns 0 when the queue
+        had nothing pending.
+        """
+        batch = self.queue.take_batch(self.max_batch, timeout=0)
+        if batch:
+            self._run_batch(batch, wid)
+        return len(batch)
+
+    def _run_batch(self, batch: list[Job], wid: int) -> None:
+        self._inc("serve.batches")
+        self._observe("serve.batch_size", len(batch))
+        for req in sorted({r for job in batch for r in job.requires}):
+            try:
+                self.warm_requirement(req)
+            except Exception:  # noqa: BLE001 - jobs re-warm and fail solo
+                pass
+        for job in batch:
+            self._run_job(job, wid)
+
+    def _transition(self, job: Job, status: str, *,
+                    abandoned_only: bool = False,
+                    **event_attrs: Any) -> bool:
         """Commit ``job`` to a terminal ``status`` exactly once.
 
         Returns False when another path (a racing retry, a cancel, an
         earlier commit) already owns the job — the caller's outcome is
-        then discarded.
+        then discarded.  With ``abandoned_only`` the commit additionally
+        requires ``subscribers == 0`` *inside* the locked region: cancel
+        commits use it so a same-key submit that re-attaches to the job
+        between the caller's check and the commit keeps the job alive.
         """
         with job.lock:
             if job.committed:
+                return False
+            if abandoned_only and job.subscribers > 0:
                 return False
             job.committed = True
             job.status = status
@@ -195,9 +219,13 @@ class Scheduler:
 
     def _run_job(self, job: Job, wid: int) -> None:
         if job.cancel_requested:
-            if self._transition(job, "cancelled", where="pre-dispatch"):
+            # commits only while the job is abandoned; when a dedup
+            # attach re-subscribed after the cancel, fall through and
+            # run (the while-loop entry handles an already-committed job)
+            if self._transition(job, "cancelled", abandoned_only=True,
+                                where="pre-dispatch"):
                 self._inc("serve.cancelled", where="pre-dispatch")
-            return
+                return
         attempt = 0
         while True:
             job.attempts += 1
@@ -240,8 +268,9 @@ class Scheduler:
                     and not job.committed
                     and job.subscribers == 0
                 )
-            if cancelled:
-                self._transition(job, "cancelled", where="post-run")
+            if cancelled and self._transition(job, "cancelled",
+                                              abandoned_only=True,
+                                              where="post-run"):
                 self._inc("serve.cancelled", where="post-run")
                 return
             job.result = result

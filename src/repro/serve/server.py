@@ -100,6 +100,7 @@ class JobHandle:
         self._job = job
         self._server = server
         self._detached = False
+        self._cancelling = False
 
     @property
     def job_id(self) -> str:
@@ -159,12 +160,24 @@ class JobHandle:
         terminalized; a running one gets a cooperative cancel flag (its
         result is discarded if the flag wins the commit race).  When
         other clients share the job, only this handle detaches.
+
+        Safe to call from multiple threads: the handle represents one
+        subscriber slot, so exactly one concurrent ``cancel()`` may
+        reach the server's decrement — the claim below is taken under
+        the job lock before any blocking work.  (The simulation harness
+        found the unguarded version double-decrementing the subscriber
+        count when a second cancel slipped in between the first one's
+        decrement and its ``_detached`` update.)
         """
-        if self._detached or self._job.terminal:
-            return False
+        with self._job.lock:
+            if self._detached or self._cancelling or self._job.committed:
+                return False
+            self._cancelling = True
         ok = self._server._cancel(self._job)
-        if ok:
-            self._detached = True
+        with self._job.lock:
+            self._cancelling = False
+            if ok:
+                self._detached = True
         return ok
 
     def events(self) -> list[dict[str, Any]]:
@@ -208,11 +221,22 @@ class ScenarioServer:
         scenario_modules: Sequence[str] = DEFAULT_SCENARIO_MODULES,
         death_injector: Callable[[Job, int], str | None] | None = None,
         live_obs: LiveObsOptions | None = None,
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
         start: bool = True,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         _import_scenario_modules(scenario_modules)
+        #: the server's one time source.  Every timestamp the runtime
+        #: takes — submit/start/finish marks, event times, uptime, drain
+        #: deadlines, commit-age health checks, the snapshot exporter —
+        #: reads this single injected clock, so a virtual clock
+        #: (:mod:`repro.simtest`) governs all windows at once.  The
+        #: default is real monotonic time; production behavior is
+        #: unchanged.
+        self.clock = clock if clock is not None else time.monotonic
+        self.sleeper = sleeper if sleeper is not None else time.sleep
         self.base_seed = base_seed
         self.cache_dir = cache_dir
         self.use_cache = use_cache
@@ -231,7 +255,9 @@ class ScenarioServer:
         #: collection windows and run reports keep seeing them)
         self.metrics = MetricsRegistry()
         self.live_obs = live_obs if live_obs is not None else LiveObsOptions()
-        self._flight = self.live_obs.build_flight_recorder()
+        self._flight = self.live_obs.build_flight_recorder(
+            wall_clock=self.clock if clock is not None else None
+        )
         self._slo = (
             self.live_obs.build_slo_tracker()
             if self.live_obs.enabled else None
@@ -253,6 +279,8 @@ class ScenarioServer:
             death_injector=death_injector,
             on_event=self._notify,
             metrics=self.metrics,
+            clock=self.clock,
+            sleep=self.sleeper,
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -260,9 +288,8 @@ class ScenarioServer:
         self._listeners: list[Callable[[Job, str, float, dict], None]] = []
         self._seq = 0
         self._closed = False
-        self._epoch = time.perf_counter()
-        self._mono_epoch = time.monotonic()
-        self._last_commit_mono: float | None = None
+        self._epoch = self.clock()
+        self._last_commit_t: float | None = None
         self._exporter: SnapshotExporter | None = None
         if self.live_obs.enabled and self.live_obs.snapshot_path is not None:
             self._exporter = SnapshotExporter(
@@ -270,6 +297,8 @@ class ScenarioServer:
                 self.live_obs.snapshot_path,
                 interval_s=self.live_obs.snapshot_interval_s,
                 extra=lambda: {"stats": self.stats()},
+                clock=self.clock,
+                wall_clock=self.clock if clock is not None else None,
             )
             self._exporter.start()
         if start:
@@ -288,12 +317,12 @@ class ScenarioServer:
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until no job is pending or running; True when idle."""
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else self.clock() + timeout
         with self._idle:
             while self._inflight:
                 remaining = None
                 if deadline is not None:
-                    remaining = deadline - time.perf_counter()
+                    remaining = deadline - self.clock()
                     if remaining <= 0:
                         return False
                 self._idle.wait(remaining)
@@ -357,7 +386,7 @@ class ScenarioServer:
         self._listeners.append(listener)
 
     def _emit(self, job: Job, kind: str, **attrs: Any) -> None:
-        t = time.perf_counter()
+        t = self.clock()
         job.events.append((kind, t, attrs))
         obs.get_timeline().event(f"serve.{kind}", t, job=f"job-{job.seq}",
                                  scenario=job.name, **attrs)
@@ -370,13 +399,13 @@ class ScenarioServer:
             seq = self._seq
         return Job(
             name=name, params=params, priority=priority, seq=seq,
-            submitted_t=time.perf_counter(),
+            submitted_t=self.clock(),
         )
 
     def _shed_job(self, job: Job, reason: str) -> JobHandle:
         job.status = "shed"
         job.error = reason
-        job.finished_t = time.perf_counter()
+        job.finished_t = self.clock()
         job.committed = True
         job.done.set()
         self._inc("serve.shed", reason=reason)
@@ -444,7 +473,7 @@ class ScenarioServer:
                 job.result = doc.get("result")
                 job.cached = True
                 job.committed = True
-                job.finished_t = time.perf_counter()
+                job.finished_t = self.clock()
                 job.done.set()
                 self._inc("serve.cache_hits")
                 if self._slo is not None:
@@ -463,12 +492,8 @@ class ScenarioServer:
         # cancel/commit is terminalizing.
         with self._lock:
             twin = self._inflight.get(key)
-            if twin is not None:
-                with twin.lock:
-                    if twin.committed:
-                        twin = None
-                    else:
-                        twin.subscribers += 1
+            if twin is not None and not self._attach_twin(twin):
+                twin = None
             if twin is not None:
                 reason = None
             else:
@@ -504,22 +529,36 @@ class ScenarioServer:
             for req in requests
         ]
 
-    # -- cancellation ------------------------------------------------------------
+    def _attach_twin(self, twin: Job) -> bool:
+        """Attach a new subscriber to a pending twin; False if it is gone.
 
-    def _finalize(self, job: Job, status: str, **attrs: Any) -> bool:
-        """Terminalize a job outside the scheduler (exactly-once guard)."""
-        with job.lock:
-            if job.committed:
+        Runs under :attr:`_lock`.  The subscriber bump is taken under the
+        twin's own lock with ``committed`` re-checked inside it, so a
+        racing cancel/commit can never hand this client a dead twin —
+        the exact race class the simulation harness's regression seeds
+        pin down (see ``tests/test_simtest.py``).
+        """
+        with twin.lock:
+            if twin.committed:
                 return False
-            job.committed = True
-            job.status = status
-            job.finished_t = time.perf_counter()
-        self._emit(job, status, **attrs)
-        job.done.set()
-        self._on_terminal(job)
+            twin.subscribers += 1
         return True
 
+    # -- cancellation ------------------------------------------------------------
+
     def _cancel(self, job: Job) -> bool:
+        """Detach one subscriber; terminalize the job when it was the last.
+
+        The whole decision — decrement, last-subscriber check, and (for
+        a job that has not started running) the ``cancelled`` commit —
+        happens under the job's own lock, the same lock
+        :meth:`_attach_twin` re-checks ``committed`` under.  Splitting
+        the commit from the subscriber check leaves a window where a
+        racing same-key submit attaches to the job *after* the decrement
+        and then watches it get cancelled out from under it — the
+        phantom-cancel race the simulation harness pins down.
+        """
+        pending_commit = False
         with job.lock:
             if job.committed:
                 return False
@@ -527,13 +566,25 @@ class ScenarioServer:
             sole = job.subscribers <= 0
             if sole:
                 job.cancel_requested = True
+                if job.status == "queued":
+                    # not started (still queued, or taken into a batch
+                    # the worker has not dispatched): commit here,
+                    # atomically with the subscriber check
+                    job.committed = True
+                    job.status = "cancelled"
+                    job.finished_t = self.clock()
+                    pending_commit = True
         if not sole:
             self._emit(job, "detach", subscribers=job.subscribers)
             return True
-        if self.queue.remove(job):
-            # still pending: terminalize right here
-            if self._finalize(job, "cancelled", where="pending"):
-                self._inc("serve.cancelled", where="pending")
+        if pending_commit:
+            # a worker's take_batch may have grabbed the job already;
+            # its pre-dispatch check sees ``committed`` and drops it
+            self.queue.remove(job)
+            self._emit(job, "cancelled", where="pending")
+            job.done.set()
+            self._on_terminal(job)
+            self._inc("serve.cancelled", where="pending")
             return True
         # already running: the cooperative flag wins or loses the commit
         # race in the scheduler's post-run check
@@ -570,7 +621,7 @@ class ScenarioServer:
                     "result": job.result,
                 })
         self._inc("serve.jobs_terminal", status=job.status)
-        self._last_commit_mono = time.monotonic()
+        self._last_commit_t = self.clock()
         if job.wait_s is not None:
             self.metrics.histogram("serve.job_wait_seconds").observe(job.wait_s)
             obs.histogram("serve.job_wait_seconds").observe(job.wait_s)
@@ -586,13 +637,20 @@ class ScenarioServer:
             if self._slo is not None:
                 self._slo.record_latency(job.priority, latency)
         with self._idle:
-            # Identity-checked: a racing submit may have re-admitted this
-            # key after we went terminal but before this pop ran — popping
-            # blindly would orphan the new job's dedup/drain entry.
-            if self._inflight.get(job.key) is job:
-                del self._inflight[job.key]
+            self._pop_inflight(job)
             if not self._inflight:
                 self._idle.notify_all()
+
+    def _pop_inflight(self, job: Job) -> None:
+        """Drop ``job``'s inflight entry; runs under :attr:`_idle`.
+
+        Identity-checked: a racing submit may have re-admitted this key
+        after the job went terminal but before this pop ran — popping
+        blindly would orphan the new job's dedup/drain entry (another
+        race class the simulation harness's regression seeds pin down).
+        """
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
 
     # -- introspection -----------------------------------------------------------
 
@@ -642,13 +700,13 @@ class ScenarioServer:
             "workers": self.scheduler.workers,
             "max_batch": self.scheduler.max_batch,
             "running": self.running,
-            "uptime_wall_s": time.perf_counter() - self._epoch,
+            "uptime_wall_s": self.clock() - self._epoch,
         }
 
     @property
     def uptime_seconds(self) -> float:
         """Monotonic seconds since construction."""
-        return time.monotonic() - self._mono_epoch
+        return self.clock() - self._epoch
 
     def health(self) -> HealthStatus:
         """Liveness + readiness with the individual gate signals.
@@ -661,8 +719,8 @@ class ScenarioServer:
         capacity = self.queue.capacity
         alive = self.scheduler.alive_workers
         last_commit_age = (
-            time.monotonic() - self._last_commit_mono
-            if self._last_commit_mono is not None else None
+            self.clock() - self._last_commit_t
+            if self._last_commit_t is not None else None
         )
         checks: dict[str, Any] = {
             "admission_open": not self._closed,

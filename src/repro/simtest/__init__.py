@@ -1,0 +1,57 @@
+"""Deterministic simulation testing for the serving + resilience stack.
+
+FoundationDB-style: the serving runtime's trickiest bugs (thread-local
+override leaks, twin-attach races, identity-checked inflight pops) are
+*schedule-dependent* — wall-clock, real-thread tests can neither explore
+the schedules systematically nor reproduce one on failure.  This package
+runs the **real** runtime code under a virtual clock (:class:`SimClock`)
+and a seeded cooperative scheduler (:class:`SimScheduler`), so every
+interleaving of worker steps, client operations, timer fires and fault
+injections is a pure function of one integer seed:
+
+- :mod:`repro.simtest.clock` — virtual monotonic time with timers; the
+  runtime's ``clock=``/``sleeper=`` seams point here under simulation.
+- :mod:`repro.simtest.scheduler` — real threads, one runnable at a
+  time: tasks park at :func:`sim_yield` points and a seeded RNG picks
+  which parked task runs next.
+- :mod:`repro.simtest.script` — the workload-script corpus format
+  (submit/cancel/await/drain/advance/fault ops) shared by the schedule
+  fuzzer, the hypothesis strategy and repro files.
+- :mod:`repro.simtest.world` — wires a :class:`~repro.serve.server.
+  ScenarioServer` plus a :class:`~repro.resilience.detector.
+  FailureDetector` into one simulated world and executes a script.
+- :mod:`repro.simtest.invariants` — the invariant library checked after
+  every scheduling step and at quiescence.
+- :mod:`repro.simtest.fuzzer` — ``python -m repro simtest``: seed
+  sweeps, the determinism double-run, script minimization and
+  self-contained ``simtest-repro-<seed>.json`` files.
+"""
+
+from repro.simtest.clock import SimClock
+from repro.simtest.fuzzer import (
+    load_repro,
+    minimize_script,
+    replay_repro,
+    run_script,
+    run_simtest,
+)
+from repro.simtest.invariants import Violation
+from repro.simtest.scheduler import SimScheduler, SimTask, sim_yield
+from repro.simtest.script import WorkloadScript, generate_script
+from repro.simtest.world import SimWorld
+
+__all__ = [
+    "SimClock",
+    "SimScheduler",
+    "SimTask",
+    "SimWorld",
+    "Violation",
+    "WorkloadScript",
+    "generate_script",
+    "load_repro",
+    "minimize_script",
+    "replay_repro",
+    "run_script",
+    "run_simtest",
+    "sim_yield",
+]

@@ -1,0 +1,91 @@
+"""Virtual monotonic time with deterministic timers.
+
+:class:`SimClock` is the single time source of a simulated world: the
+serving runtime's ``clock=`` seam reads it, its ``sleeper=`` seam
+advances it, and periodic activities that production runs on real
+threads (snapshot exporter ticks, failure-detector heartbeats) register
+as timers that fire *during* advancement, at their exact due times, in
+deterministic order.  Nothing here reads the real clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Deterministic virtual time: ``now()``, ``sleep()``, timers.
+
+    Time only moves through :meth:`advance` (or its alias
+    :meth:`sleep`, the shape the runtime's ``sleeper=`` seam expects).
+    Timers due within an advance fire in (due-time, registration) order
+    with :meth:`now` set to their exact due time, so a periodic
+    heartbeat polled through the clock lands on a precise grid — the
+    property the detector-hysteresis invariant leans on.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        #: heap of (due, seq, interval|None, name, fn)
+        self._timers: list[tuple[float, int, float | None, str, Callable]] = []
+        self._seq = 0
+        self.fired = 0
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    #: the clock object itself is callable, matching the ``clock=`` seams
+    __call__ = now
+
+    def _push(self, due: float, interval: float | None, name: str,
+              fn: Callable[[], Any]) -> None:
+        heapq.heappush(self._timers, (due, self._seq, interval, name, fn))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Callable[[], Any],
+              name: str = "") -> None:
+        """Fire ``fn`` once, ``delay`` seconds of virtual time from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._push(self._now + delay, None, name, fn)
+
+    def every(self, interval: float, fn: Callable[[], Any],
+              name: str = "") -> None:
+        """Fire ``fn`` every ``interval`` seconds, first at now+interval."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._push(self._now + interval, interval, name, fn)
+
+    def next_due(self) -> float | None:
+        """Virtual time of the nearest pending timer (None when idle)."""
+        return self._timers[0][0] if self._timers else None
+
+    def advance(self, dt: float) -> int:
+        """Move time forward ``dt`` seconds, firing due timers in order.
+
+        Returns the number of timer fires.  Each timer runs with
+        :meth:`now` equal to its due time; periodic timers re-arm before
+        running, so a callback advancing the clock recursively (unusual,
+        but legal) stays well-ordered.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot advance by {dt}; time is monotonic")
+        target = self._now + dt
+        fired = 0
+        while self._timers and self._timers[0][0] <= target:
+            due, _, interval, name, fn = heapq.heappop(self._timers)
+            self._now = max(self._now, due)
+            if interval is not None:
+                self._push(due + interval, interval, name, fn)
+            fn()
+            fired += 1
+        self._now = target
+        self.fired += fired
+        return fired
+
+    #: the shape the runtime's ``sleeper=`` seams expect
+    sleep = advance

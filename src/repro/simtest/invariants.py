@@ -1,0 +1,295 @@
+"""The invariant library the schedule fuzzer checks after every step.
+
+Two tiers, matching when a property must hold:
+
+- **step invariants** (:meth:`InvariantChecker.check_step`) hold at
+  every point where all simulated tasks are parked — the cooperative
+  scheduler's equivalent of "any observable moment": the queue respects
+  its capacity bound, every queued job owns its inflight entry (by
+  identity, not just key), ``committed`` agrees with the terminal
+  status, subscriber counts never go negative, counters never move
+  backwards, and no job commits a terminal status twice.
+
+- **quiescence invariants** (:meth:`InvariantChecker.check_quiescent`)
+  hold once every task has finished: no submission is lost (every
+  admitted job committed exactly one terminal event, every handle is
+  done), no client that never cancelled observes ``cancelled``
+  (the dedup twin-attach race's signature), done results are actually
+  correct, the inflight table and queue are empty, the admission ledger
+  balances (``submitted == admitted + shed + dedup + cache``), the
+  failure detector never declared a failure for a flap shorter than its
+  hysteresis window, and the modeled-partition-time override did not
+  leak outside its context manager.
+
+Violations are plain data (:class:`Violation`) so repro files can embed
+them verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.partitioners import base as _partitioner_base
+from repro.serve.queue import TERMINAL_STATUSES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simtest.world import SimWorld
+
+__all__ = ["Violation", "InvariantChecker"]
+
+
+@dataclass
+class Violation:
+    """One broken invariant, with enough context to read the repro."""
+
+    invariant: str
+    detail: str
+    step: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (embedded in repro files)."""
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Violation":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            invariant=str(doc["invariant"]),
+            detail=str(doc["detail"]),
+            step=int(doc.get("step", -1)),
+        )
+
+
+class InvariantChecker:
+    """Accumulates observations and violations over one simulated run."""
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        #: one line per scheduling step — the "invariant log" whose
+        #: digest (with the trace) defines run determinism
+        self.log: list[str] = []
+        self.jobs: dict[int, Any] = {}
+        self.admitted: set[int] = set()
+        self.terminal_events: dict[int, int] = {}
+        self._counter_last: dict[tuple, float] = {}
+        self._last_event_t = float("-inf")
+
+    def violate(self, invariant: str, detail: str, step: int) -> None:
+        """Record one violation."""
+        self.violations.append(Violation(invariant, detail, step))
+
+    # -- event tap (called from the world's listener) ----------------------------
+
+    def observe_event(self, job: Any, kind: str, t: float,
+                      step: int) -> None:
+        """Fold one job event into the checker's model."""
+        self.jobs[job.seq] = job
+        if t < self._last_event_t - 1e-9:
+            self.violate(
+                "event-time-monotone",
+                f"event {kind!r} for job-{job.seq} at t={t} after an "
+                f"event at t={self._last_event_t}",
+                step,
+            )
+        self._last_event_t = max(self._last_event_t, t)
+        if kind == "queued":
+            self.admitted.add(job.seq)
+        if kind in TERMINAL_STATUSES:
+            n = self.terminal_events.get(job.seq, 0) + 1
+            self.terminal_events[job.seq] = n
+            if n > 1:
+                self.violate(
+                    "terminal-exactly-once",
+                    f"job-{job.seq} committed a {n}th terminal event "
+                    f"({kind!r} at t={t})",
+                    step,
+                )
+
+    # -- step invariants ---------------------------------------------------------
+
+    def check_step(self, world: "SimWorld", step: int) -> None:
+        """Check every property that must hold at any parked moment."""
+        server = world.server
+        depth = len(server.queue)
+        if depth > server.queue.capacity:
+            self.violate(
+                "queue-bound",
+                f"queue depth {depth} exceeds capacity "
+                f"{server.queue.capacity}",
+                step,
+            )
+        for lane in server.queue._lanes.values():
+            for job in lane:
+                if server._inflight.get(job.key) is not job:
+                    self.violate(
+                        "inflight-identity",
+                        f"job-{job.seq} is queued but _inflight[{job.key!r}] "
+                        f"is not it — a racing pop orphaned the entry",
+                        step,
+                    )
+        for seq, job in self.jobs.items():
+            if job.committed != job.terminal:
+                self.violate(
+                    "commit-status-agreement",
+                    f"job-{seq}: committed={job.committed} but "
+                    f"status={job.status!r}",
+                    step,
+                )
+            if job.subscribers < 0:
+                self.violate(
+                    "subscribers-nonnegative",
+                    f"job-{seq}: subscribers={job.subscribers}",
+                    step,
+                )
+        for key, counter in list(server.metrics._counters.items()):
+            value = counter.value
+            last = self._counter_last.get(key, 0.0)
+            if value < last - 1e-9:
+                name, labels = key
+                self.violate(
+                    "counters-monotone",
+                    f"counter {name}{dict(labels)!r} moved backwards: "
+                    f"{last} -> {value}",
+                    step,
+                )
+            self._counter_last[key] = value
+        self.log.append(
+            f"step={step} depth={depth} inflight={len(server._inflight)} "
+            f"jobs={len(self.jobs)} "
+            f"terminal={sum(self.terminal_events.values())} "
+            f"violations={len(self.violations)}"
+        )
+
+    # -- quiescence invariants ---------------------------------------------------
+
+    def check_quiescent(self, world: "SimWorld") -> None:
+        """Check end-state properties once every task has finished."""
+        server = world.server
+        step = world.sched.steps
+        for hid, entry in world.handles.items():
+            handle = entry.handle
+            if not handle.done:
+                self.violate(
+                    "no-lost-submission",
+                    f"handle {hid} ({handle.job_id}, {entry.scenario}) "
+                    f"never reached a terminal state "
+                    f"(status={handle.status!r})",
+                    step,
+                )
+                continue
+            status = handle.status
+            if status == "cancelled" and hid not in world.cancel_attempted:
+                self.violate(
+                    "no-phantom-cancel",
+                    f"handle {hid} ({handle.job_id}) reads 'cancelled' but "
+                    f"no client ever cancelled it — it was attached to a "
+                    f"dead dedup twin",
+                    step,
+                )
+            if status == "done" and entry.scenario in ("sim-fast", "sim-slow"):
+                result = entry.handle.record().get("result")
+                expected = entry.x * entry.x
+                got = result.get("square") if isinstance(result, dict) else None
+                if got != expected:
+                    self.violate(
+                        "results-correct",
+                        f"handle {hid} ({handle.job_id}): expected "
+                        f"square={expected} for x={entry.x}, got {result!r}",
+                        step,
+                    )
+        for seq in sorted(self.admitted):
+            job = self.jobs.get(seq)
+            if job is None or not (job.committed and job.terminal):
+                status = getattr(job, "status", "<gone>")
+                self.violate(
+                    "no-lost-job",
+                    f"admitted job-{seq} never committed "
+                    f"(status={status!r})",
+                    step,
+                )
+            n = self.terminal_events.get(seq, 0)
+            if n != 1:
+                self.violate(
+                    "terminal-exactly-once",
+                    f"admitted job-{seq} emitted {n} terminal events "
+                    f"(want exactly 1)",
+                    step,
+                )
+        if server._inflight:
+            self.violate(
+                "inflight-drains",
+                f"{len(server._inflight)} inflight entries survive "
+                f"quiescence: "
+                f"{sorted(f'job-{j.seq}' for j in server._inflight.values())}",
+                step,
+            )
+        if len(server.queue):
+            self.violate(
+                "queue-drains",
+                f"{len(server.queue)} jobs still queued at quiescence",
+                step,
+            )
+        m = server.metrics
+        submitted = m.sum_counters("serve.submitted")
+        admitted = m.sum_counters("serve.admitted")
+        shed = m.sum_counters("serve.shed")
+        dedup = m.sum_counters("serve.dedup_hits")
+        cache = m.sum_counters("serve.cache_hits")
+        if submitted != admitted + shed + dedup + cache:
+            self.violate(
+                "admission-ledger",
+                f"submitted={submitted} != admitted={admitted} + "
+                f"shed={shed} + dedup={dedup} + cache={cache}",
+                step,
+            )
+        terminal = m.sum_counters("serve.jobs_terminal")
+        if terminal != admitted:
+            self.violate(
+                "terminal-ledger",
+                f"jobs_terminal={terminal} != admitted={admitted}",
+                step,
+            )
+        leak = getattr(
+            _partitioner_base._MODELED_TIME, "seconds_per_unit", None
+        )
+        if leak is not None:
+            self.violate(
+                "no-modeled-time-leak",
+                f"deterministic_partition_time override ({leak!r}) is "
+                f"visible outside its context manager — the modeled-time "
+                f"state is not isolated per thread",
+                step,
+            )
+        cfg = world.detector.config
+        declare_at = cfg.misses_to_declare + cfg.eviction_hysteresis_polls
+        for ev in world.detector.events:
+            if ev.kind != "failure":
+                continue
+            outage = next(
+                (
+                    o for o in world.outages
+                    if o["node"] == ev.node_id
+                    and o["t_fail"] <= ev.t_detected < o["t_recover"]
+                ),
+                None,
+            )
+            if outage is None:
+                self.violate(
+                    "detector-no-spurious-failure",
+                    f"detector declared node {ev.node_id} failed at "
+                    f"t={ev.t_detected} with no covering outage",
+                    step,
+                )
+            elif outage["polls"] < declare_at:
+                self.violate(
+                    "detector-hysteresis",
+                    f"node {ev.node_id} evicted at t={ev.t_detected} during "
+                    f"a {outage['polls']}-poll flap "
+                    f"(declare_at={declare_at} polls)",
+                    step,
+                )

@@ -1,0 +1,167 @@
+"""The seeded cooperative scheduler: one runnable thread at a time.
+
+Real threads run the real runtime code, but they only *run* while the
+controller has granted them the baton: every task parks at
+:func:`sim_yield` points (reached through the runtime's event/sleep
+seams) and the controller — a plain loop on the driving thread — picks
+which parked task resumes next with a seeded RNG.  Exactly one thread
+executes at any moment, so shared-state interleavings are totally
+ordered by the grant sequence, which is a pure function of the seed.
+
+The park/grant handshake is a pair of binary semaphores per task;
+:data:`_CURRENT` (a thread-local) lets :func:`sim_yield` find the
+calling thread's task, and makes it a no-op on unmanaged threads — the
+same seams cost nothing in production.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable
+
+__all__ = ["SimAbort", "SimTask", "SimScheduler", "sim_yield", "sim_wait"]
+
+_CURRENT = threading.local()
+
+
+class SimAbort(BaseException):
+    """Unwinds a task's thread during teardown.
+
+    Derives :class:`BaseException` so the runtime's job-isolation
+    ``except Exception`` handlers do not swallow it into a spurious
+    ``failed`` commit.
+    """
+
+
+def sim_yield(label: str) -> None:
+    """Park the calling task and hand the baton back to the controller.
+
+    No-op when the calling thread is not a managed :class:`SimTask` —
+    production code paths that share the seams never block here.
+    """
+    task = getattr(_CURRENT, "task", None)
+    if task is None:
+        return
+    task.where = label
+    task._parked.release()
+    task._grant.acquire()
+    if task.aborted:
+        raise SimAbort()
+
+
+def sim_wait(label: str, pred: Callable[[], bool]) -> None:
+    """Park until ``pred()`` holds; the controller only grants then.
+
+    The predicate is evaluated by the controller while every task is
+    parked, so it may read shared state without synchronization.
+    """
+    task = getattr(_CURRENT, "task", None)
+    if task is None:
+        return
+    while not pred():
+        task.wait_pred = pred
+        sim_yield(label)
+        task.wait_pred = None
+
+
+class SimTask:
+    """One cooperatively scheduled thread of the simulated world."""
+
+    def __init__(self, name: str, fn: Callable[[], Any]) -> None:
+        self.name = name
+        self.fn = fn
+        self.where = "spawned"
+        self.done = False
+        self.aborted = False
+        self.error: BaseException | None = None
+        #: gating predicate for the controller; None = runnable
+        self.wait_pred: Callable[[], bool] | None = None
+        self._grant = threading.Semaphore(0)
+        self._parked = threading.Semaphore(0)
+        self._thread = threading.Thread(
+            target=self._body, name=f"sim-{name}", daemon=True
+        )
+        self._thread.start()
+
+    def _body(self) -> None:
+        _CURRENT.task = self
+        self._grant.acquire()
+        try:
+            if not self.aborted:
+                self.fn()
+        except SimAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - surfaced as a violation
+            self.error = exc
+        finally:
+            self.done = True
+            self.where = "done"
+            self._parked.release()
+
+    @property
+    def runnable(self) -> bool:
+        """True when a grant would make progress."""
+        if self.done:
+            return False
+        if self.wait_pred is not None:
+            return bool(self.wait_pred())
+        return True
+
+
+class SimScheduler:
+    """Grants the baton to one runnable task at a time, seeded.
+
+    ``step()`` picks a runnable task uniformly with the seed's RNG,
+    wakes it, and blocks until it parks again (or finishes).  The grant
+    trace — ``(step, task, where-label)`` — *is* the schedule: two runs
+    with equal seeds and equal world state produce identical traces.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.tasks: list[SimTask] = []
+        self.trace: list[tuple[int, str, str]] = []
+        self.steps = 0
+
+    def spawn(self, name: str, fn: Callable[[], Any]) -> SimTask:
+        """Create a managed task; it parks immediately, before ``fn``."""
+        task = SimTask(name, fn)
+        self.tasks.append(task)
+        return task
+
+    def runnable(self) -> list[SimTask]:
+        """Tasks a grant would advance, in stable spawn order."""
+        return [t for t in self.tasks if t.runnable]
+
+    @property
+    def live(self) -> list[SimTask]:
+        """Tasks that have not finished."""
+        return [t for t in self.tasks if not t.done]
+
+    def _grant(self, task: SimTask) -> None:
+        task._grant.release()
+        task._parked.acquire()
+
+    def step(self) -> SimTask | None:
+        """Run one scheduling step; None when nothing is runnable."""
+        ready = self.runnable()
+        if not ready:
+            return None
+        task = ready[self.rng.randrange(len(ready))]
+        came_from = task.where
+        self._grant(task)
+        self.steps += 1
+        self.trace.append((self.steps, task.name, came_from))
+        return task
+
+    def abort_all(self) -> None:
+        """Unwind every live task (raises :class:`SimAbort` in each)."""
+        for task in self.tasks:
+            if task.done:
+                continue
+            task.aborted = True
+            self._grant(task)
+        for task in self.tasks:
+            task._thread.join(timeout=10.0)

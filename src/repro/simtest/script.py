@@ -1,0 +1,202 @@
+"""The workload-script corpus format and its seeded generator.
+
+One format, three producers: :func:`generate_script` derives a script
+from an integer seed (the fuzzer's corpus), the hypothesis strategy in
+:mod:`repro.simtest.strategies` draws the same shape property-based,
+and repro files embed the minimized script verbatim — so a failure
+found by any of them replays through the same door.
+
+A script is a server/detector configuration plus a flat op list.  Ops
+reference handles by symbolic id (``h1``, ``h2``, ...); an op whose
+handle does not (yet) exist is *skipped*, which keeps every subset of
+an op list a valid script — the property the delta-debugging minimizer
+relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.protocol import PRIORITIES
+
+__all__ = [
+    "WorkloadScript",
+    "generate_script",
+    "derive_sim_seed",
+    "SIM_SCENARIOS",
+]
+
+#: the simulation's scenario vocabulary (registered by the world):
+#: ``sim-fast``/``sim-slow`` compute ``x**2`` with 1/3 in-scenario yield
+#: points, ``sim-boom`` raises (a ``failed`` commit)
+SIM_SCENARIOS = ("sim-fast", "sim-slow", "sim-boom")
+
+#: op kinds a script may contain
+OP_KINDS = ("submit", "cancel", "await", "drain", "advance", "fault")
+
+
+def derive_sim_seed(*parts: Any) -> int:
+    """A process-independent integer seed from arbitrary parts.
+
+    ``random.Random(tuple)`` falls back to ``hash()``, which
+    ``PYTHONHASHSEED`` randomizes per process — useless for a corpus
+    whose digests must agree across machines.  This derivation is pure
+    sha256 over the stringified parts.
+    """
+    digest = hashlib.sha256(
+        ":".join(map(str, parts)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class WorkloadScript:
+    """A runnable workload: configuration + ops, JSON round-trippable."""
+
+    ops: list[dict[str, Any]] = field(default_factory=list)
+    workers: int = 2
+    clients: int = 2
+    queue_capacity: int = 4
+    max_batch: int = 2
+    use_cache: bool = False
+    max_retries: int = 2
+    #: worker-death injection: each (job.seq, attempt) dies "before" /
+    #: "after" / not at all, decided by a pure hash of (death_seed, seq,
+    #: attempt) against this rate — no registration, no races
+    death_rate: float = 0.0
+    death_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if not 0.0 <= self.death_rate <= 1.0:
+            raise ValueError(
+                f"death_rate must be in [0, 1], got {self.death_rate}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the shape embedded in repro files)."""
+        return {
+            "workers": self.workers,
+            "clients": self.clients,
+            "queue_capacity": self.queue_capacity,
+            "max_batch": self.max_batch,
+            "use_cache": self.use_cache,
+            "max_retries": self.max_retries,
+            "death_rate": self.death_rate,
+            "death_seed": self.death_seed,
+            "ops": [dict(op) for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "WorkloadScript":
+        """Rebuild a script from :meth:`to_dict` output."""
+        fields = {k: v for k, v in doc.items() if k != "ops"}
+        return cls(ops=[dict(op) for op in doc.get("ops", [])], **fields)
+
+    def replace_ops(self, ops: list[dict[str, Any]]) -> "WorkloadScript":
+        """A copy with the same configuration and a different op list."""
+        doc = self.to_dict()
+        doc["ops"] = [dict(op) for op in ops]
+        return WorkloadScript.from_dict(doc)
+
+    def death_plan(self, seq: int, attempt: int) -> str | None:
+        """The injected death (if any) for one job attempt.
+
+        A pure function of ``(death_seed, seq, attempt)``, so the same
+        attempt dies the same way on replay regardless of schedule.
+        """
+        if self.death_rate <= 0.0:
+            return None
+        r = random.Random(
+            derive_sim_seed("death", self.death_seed, seq, attempt)
+        ).random()
+        if r < self.death_rate / 2:
+            return "before"
+        if r < self.death_rate:
+            return "after"
+        return None
+
+
+def generate_script(
+    seed: int,
+    *,
+    ops: int = 24,
+    clients: int = 2,
+    workers: int = 2,
+) -> WorkloadScript:
+    """Derive a workload script from ``seed`` (the fuzzer's corpus).
+
+    The op mix leans into the race surfaces: small ``x`` domains force
+    key collisions (dedup/twin attach), cancels target recent handles
+    (commit races), drains land mid-burst, faults flap nodes inside the
+    detector's hysteresis, and advances fire heartbeat timers.
+    """
+    rng = random.Random(derive_sim_seed("simtest-script", seed))
+    script = WorkloadScript(
+        workers=workers,
+        clients=clients,
+        queue_capacity=rng.choice((2, 3, 4, 6)),
+        max_batch=rng.choice((1, 2, 3)),
+        use_cache=rng.random() < 0.3,
+        max_retries=rng.choice((0, 1, 2)),
+        death_rate=rng.choice((0.0, 0.0, 0.15, 0.4)),
+        death_seed=rng.randrange(1 << 30),
+    )
+    handles: list[str] = []
+    n_handles = 0
+    for _ in range(ops):
+        kind = rng.choices(
+            OP_KINDS, weights=(10, 4, 4, 1, 2, 2), k=1
+        )[0]
+        client = rng.randrange(clients)
+        if kind == "submit":
+            n_handles += 1
+            handle = f"h{n_handles}"
+            handles.append(handle)
+            script.ops.append({
+                "op": "submit",
+                "client": client,
+                "handle": handle,
+                "scenario": rng.choices(
+                    SIM_SCENARIOS, weights=(6, 3, 1), k=1
+                )[0],
+                "x": rng.randrange(3),
+                "priority": rng.choice(PRIORITIES),
+            })
+        elif kind in ("cancel", "await"):
+            if not handles:
+                continue
+            # bias toward recent handles: those are the ones still open
+            idx = max(0, len(handles) - 1 - int(abs(rng.gauss(0, 2))))
+            script.ops.append({
+                "op": kind, "client": client, "handle": handles[idx],
+            })
+        elif kind == "drain":
+            script.ops.append({"op": "drain", "client": client})
+        elif kind == "advance":
+            script.ops.append({
+                "op": "advance", "client": client,
+                "dt": round(rng.uniform(0.5, 3.0), 3),
+            })
+        elif kind == "fault":
+            script.ops.append({
+                "op": "fault", "client": client,
+                "node": rng.randrange(3),
+                # < declare_at (4 with the world's detector config) is a
+                # flap the detector must absorb; >= is a real crash
+                "polls": rng.choice((1, 2, 3, 3, 5)),
+            })
+    # every generated script ends by awaiting all handles, so quiescence
+    # invariants always apply to the full submission set
+    for handle in handles:
+        script.ops.append({
+            "op": "await", "client": rng.randrange(clients),
+            "handle": handle,
+        })
+    return script

@@ -1,0 +1,131 @@
+"""Hypothesis strategies over the simtest workload-script format.
+
+Property-based tests draw :class:`~repro.simtest.script.WorkloadScript`
+values directly (rather than integer seeds), so hypothesis shrinks the
+*script* on failure — complementary to the fuzzer's own ddmin, and
+sharing the exact corpus format: a script hypothesis found embeds in a
+repro file unchanged.
+
+Import is guarded: the strategies are only usable where hypothesis is
+installed (the test environment); the runtime package never needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # pragma: no cover - exercised via tests when hypothesis exists
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - runtime installs may lack it
+    st = None  # type: ignore[assignment]
+
+from repro.serve.protocol import PRIORITIES
+from repro.simtest.script import SIM_SCENARIOS, WorkloadScript
+
+__all__ = ["workload_scripts", "HAVE_HYPOTHESIS"]
+
+HAVE_HYPOTHESIS = st is not None
+
+
+def _require_hypothesis() -> None:
+    if st is None:  # pragma: no cover - runtime installs may lack it
+        raise RuntimeError(
+            "repro.simtest.strategies requires hypothesis; "
+            "use repro.simtest.generate_script for seed-derived scripts"
+        )
+
+
+def workload_scripts(
+    *,
+    max_ops: int = 16,
+    clients: int = 2,
+    workers: int = 2,
+):
+    """A strategy producing small, always-valid workload scripts.
+
+    Handles are drawn from a tiny symbolic pool (``h1``..``h6``) —
+    cancels/awaits may reference handles no submit created, which the
+    world skips by design, so every draw is runnable.  Trailing awaits
+    for the submitted handles are appended to guarantee the quiescence
+    invariants bind the whole submission set.
+    """
+    _require_hypothesis()
+    handle_ids = [f"h{i}" for i in range(1, 7)]
+    client_st = st.integers(min_value=0, max_value=clients - 1)
+    submit_op = st.fixed_dictionaries({
+        "op": st.just("submit"),
+        "client": client_st,
+        "handle": st.sampled_from(handle_ids),
+        "scenario": st.sampled_from(SIM_SCENARIOS),
+        "x": st.integers(min_value=0, max_value=2),
+        "priority": st.sampled_from(PRIORITIES),
+    })
+    handle_op = st.fixed_dictionaries({
+        "op": st.sampled_from(("cancel", "await")),
+        "client": client_st,
+        "handle": st.sampled_from(handle_ids),
+    })
+    drain_op = st.fixed_dictionaries({
+        "op": st.just("drain"),
+        "client": client_st,
+    })
+    advance_op = st.fixed_dictionaries({
+        "op": st.just("advance"),
+        "client": client_st,
+        "dt": st.floats(min_value=0.5, max_value=3.0,
+                        allow_nan=False, allow_infinity=False),
+    })
+    fault_op = st.fixed_dictionaries({
+        "op": st.just("fault"),
+        "client": client_st,
+        "node": st.integers(min_value=0, max_value=2),
+        "polls": st.sampled_from((1, 2, 3, 5)),
+    })
+    ops_st = st.lists(
+        st.one_of(submit_op, submit_op, handle_op, drain_op,
+                  advance_op, fault_op),
+        min_size=1,
+        max_size=max_ops,
+    )
+
+    def _build(draw_tuple: tuple[list[dict[str, Any]], int, int, bool,
+                                 int, float, int]) -> WorkloadScript:
+        ops, capacity, max_batch, use_cache, retries, death, dseed = (
+            draw_tuple
+        )
+        ops = [dict(op) for op in ops]
+        submitted = []
+        renumbered = []
+        for op in ops:
+            if op["op"] == "submit":
+                # re-key submit handles to be unique while keeping
+                # cancels/awaits pointed at the symbolic pool
+                hid = f"h{len(submitted) + 1}"
+                submitted.append(hid)
+                op = {**op, "handle": hid}
+            if op["op"] == "advance":
+                op = {**op, "dt": round(float(op["dt"]), 3)}
+            renumbered.append(op)
+        for hid in submitted:
+            renumbered.append({"op": "await", "client": 0, "handle": hid})
+        return WorkloadScript(
+            ops=renumbered,
+            workers=workers,
+            clients=clients,
+            queue_capacity=capacity,
+            max_batch=max_batch,
+            use_cache=use_cache,
+            max_retries=retries,
+            death_rate=death,
+            death_seed=dseed,
+        )
+
+    return st.tuples(
+        ops_st,
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from((0.0, 0.0, 0.15, 0.4)),
+        st.integers(min_value=0, max_value=1 << 20),
+    ).map(_build)

@@ -222,10 +222,12 @@ class TestWorkloadDifferential:
 
 # costmodel.json is the comm-cost kernel corpus (different schema) owned
 # by tests/test_execsim_kernels.py; api_surface.json is the public-API
-# snapshot owned by tests/test_api_surface.py.
+# snapshot owned by tests/test_api_surface.py; simtest_seeds.json is the
+# simulation-fuzzer seed corpus owned by tests/test_simtest.py.
 GOLDEN = sorted(
     p for p in (TESTS / "golden").glob("*.json")
-    if p.name not in ("costmodel.json", "api_surface.json")
+    if p.name not in ("costmodel.json", "api_surface.json",
+                      "simtest_seeds.json")
 )
 
 

@@ -268,11 +268,17 @@ class TestScenarioServer:
         server.shutdown()
 
     def test_cancel_running_is_cooperative(self):
-        with make_server(workers=1) as server:
+        with make_server(workers=1, start=False) as server:
+            running = threading.Event()
+            server.add_listener(
+                lambda job, kind, t, attrs:
+                running.set() if kind == "running" else None
+            )
             handle = server.submit("srv-gated")
-            deadline = time.time() + 5
-            while handle._job.status != "running" and time.time() < deadline:
-                time.sleep(0.005)
+            server.start()
+            # event-driven: the "running" event fires after the status
+            # flip, so no status polling loop is needed
+            assert running.wait(timeout=10)
             assert handle._job.status == "running"
             assert handle.cancel() is True
             _GATE.set()
@@ -468,20 +474,16 @@ class TestJsonlSocket:
     def test_socket_round_trip(self, tmp_path):
         path = str(tmp_path / "serve.sock")
         with make_server(workers=1) as server:
+            ready = threading.Event()
             t = threading.Thread(
-                target=serve_socket, args=(server, path), daemon=True
+                target=serve_socket, args=(server, path),
+                kwargs={"ready": ready}, daemon=True,
             )
             t.start()
-            deadline = time.time() + 5
+            # event-driven: serve_socket signals once it is listening
+            assert ready.wait(timeout=5)
             client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            while True:
-                try:
-                    client.connect(path)
-                    break
-                except (FileNotFoundError, ConnectionRefusedError):
-                    if time.time() > deadline:
-                        raise
-                    time.sleep(0.01)
+            client.connect(path)
             fh = client.makefile("rw", encoding="utf-8")
             fh.write('{"op": "submit", "id": "s1", "scenario": "srv-quick", '
                      '"params": {"x": 6}}\n')
@@ -514,20 +516,15 @@ class TestJsonlSocket:
 
         def _round_trip():
             with make_server(workers=1) as server:
+                ready = threading.Event()
                 t = threading.Thread(
-                    target=serve_socket, args=(server, path), daemon=True
+                    target=serve_socket, args=(server, path),
+                    kwargs={"ready": ready}, daemon=True,
                 )
                 t.start()
-                deadline = time.time() + 5
+                assert ready.wait(timeout=5)
                 client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                while True:
-                    try:
-                        client.connect(path)
-                        break
-                    except (FileNotFoundError, ConnectionRefusedError):
-                        if time.time() > deadline:
-                            raise
-                        time.sleep(0.01)
+                client.connect(path)
                 fh = client.makefile("rw", encoding="utf-8")
                 fh.write('{"op": "shutdown"}\n')
                 fh.flush()

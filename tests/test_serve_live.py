@@ -65,17 +65,12 @@ def live_options(**over):
     return LiveObsOptions(**over)
 
 
-def _connect(path, deadline_s=5.0):
-    deadline = time.time() + deadline_s
+def _connect(path):
+    # the listener is already up (serve_socket's ready event), so a
+    # plain connect suffices — no filesystem polling with sleeps
     client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    while True:
-        try:
-            client.connect(path)
-            return client
-        except (FileNotFoundError, ConnectionRefusedError):
-            if time.time() > deadline:
-                raise
-            time.sleep(0.01)
+    client.connect(path)
+    return client
 
 
 class _SocketFixture:
@@ -84,10 +79,13 @@ class _SocketFixture:
     def __init__(self, server, path):
         self.server = server
         self.path = path
+        ready = threading.Event()
         self.thread = threading.Thread(
-            target=serve_socket, args=(server, path), daemon=True
+            target=serve_socket, args=(server, path),
+            kwargs={"ready": ready}, daemon=True,
         )
         self.thread.start()
+        assert ready.wait(timeout=5)
         self.client = _connect(path)
         self.fh = self.client.makefile("rw", encoding="utf-8")
 

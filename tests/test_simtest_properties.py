@@ -1,0 +1,49 @@
+"""Property-based tests over the simtest workload-script format.
+
+Hypothesis draws :class:`WorkloadScript` values directly through the
+shared strategy (same shape the seeded generator and repro files use),
+so a failing example shrinks to a small script that embeds in a repro
+file unchanged.  Under ``HYPOTHESIS_PROFILE=ci`` (the tier-1 profile)
+these run derandomized with bounded examples.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtest import WorkloadScript, run_script
+from repro.simtest.strategies import HAVE_HYPOTHESIS, workload_scripts
+
+#: one fixed schedule seed per drawn script keeps each example cheap;
+#: schedule diversity comes from the seeded corpus sweep instead
+_SCHEDULE_SEED = 1234
+
+
+def test_strategy_reports_hypothesis_available():
+    assert HAVE_HYPOTHESIS
+
+
+@given(script=workload_scripts())
+@settings(max_examples=20, deadline=None)
+def test_every_drawn_script_runs_green(script):
+    report = run_script(script, _SCHEDULE_SEED)
+    assert report.ok, report.violations
+    assert report.steps > 0
+
+
+@given(script=workload_scripts())
+@settings(max_examples=20, deadline=None)
+def test_script_json_roundtrip(script):
+    doc = script.to_dict()
+    assert WorkloadScript.from_dict(doc).to_dict() == doc
+
+
+@given(script=workload_scripts(max_ops=8),
+       seed=st.integers(min_value=0, max_value=1 << 16))
+@settings(max_examples=12, deadline=None)
+def test_same_seed_same_digest(script, seed):
+    first = run_script(script, seed)
+    second = run_script(script, seed)
+    assert first.digest == second.digest
+    assert first.ok == second.ok
